@@ -1,0 +1,365 @@
+//! Sparsifier configuration.
+
+use tracered_graph::laplacian::ShiftPolicy;
+use tracered_graph::mst::TreeKind;
+use tracered_sparse::order::Ordering;
+
+use crate::error::CoreError;
+
+/// Which spectral-criticality metric drives edge recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Method {
+    /// The paper's approximate trace reduction (Algorithm 2) — default.
+    #[default]
+    TraceReduction,
+    /// GRASS-style spectral perturbation analysis \[Feng 2020\]:
+    /// criticality `w_pq (h_tᵀ e_pq)²` from t-step generalized power
+    /// iterations, with the same iterative densification schedule.
+    Grass,
+    /// feGRASS-style effective-resistance criticality `w_pq · R_T(p, q)`
+    /// computed once against the spanning tree (single pass).
+    EffectiveResistance,
+    /// Spielman–Srivastava criticality `w_pq · R̃_G(p, q)` with
+    /// effective resistances estimated in the **full graph** via
+    /// Johnson–Lindenstrauss projections \[Spielman & Srivastava 2011\] —
+    /// the costly-but-principled baseline of the paper's introduction
+    /// (requires factorizing the full graph Laplacian).
+    JlResistance,
+}
+
+/// Configuration for [`fn@crate::sparsify`].
+///
+/// Defaults mirror the paper's experimental setup: recover `10 % · |V|`
+/// off-tree edges over five densification iterations, with truncation
+/// radius β = 5 and SPAI threshold δ = 0.1.
+///
+/// # Example
+///
+/// ```
+/// use tracered_core::{Method, SparsifyConfig};
+///
+/// let cfg = SparsifyConfig::new(Method::TraceReduction)
+///     .edge_fraction(0.05)
+///     .iterations(3)
+///     .beta(4);
+/// assert_eq!(cfg.num_iterations(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparsifyConfig {
+    method: Method,
+    edge_fraction: f64,
+    iterations: usize,
+    beta: usize,
+    spai_threshold: f64,
+    similarity_layers: usize,
+    use_similarity_exclusion: bool,
+    tree_kind: TreeKind,
+    ordering: Ordering,
+    shift: ShiftPolicy,
+    grass_power_steps: usize,
+    grass_num_vectors: usize,
+    jl_probes: usize,
+    seed: u64,
+    track_trace: bool,
+}
+
+impl Default for SparsifyConfig {
+    fn default() -> Self {
+        SparsifyConfig::new(Method::default())
+    }
+}
+
+impl SparsifyConfig {
+    /// Creates the paper-default configuration for a given method.
+    pub fn new(method: Method) -> Self {
+        let single_pass =
+            method == Method::EffectiveResistance || method == Method::JlResistance;
+        SparsifyConfig {
+            method,
+            edge_fraction: 0.10,
+            iterations: if single_pass { 1 } else { 5 },
+            beta: 5,
+            spai_threshold: 0.1,
+            similarity_layers: 1,
+            // The paper combines exclusion with trace reduction; GRASS [8]
+            // runs without it.
+            use_similarity_exclusion: method != Method::Grass,
+            tree_kind: TreeKind::MaxEffectiveWeight,
+            ordering: Ordering::MinDegree,
+            // The paper adds "small values" to the diagonal; its test
+            // matrices additionally carry physical diagonal dominance
+            // (ground conductance). A vanishing shift makes L⁻¹'s columns
+            // share a huge near-nullspace tail that defeats Algorithm 1's
+            // max-relative pruning (see DESIGN.md §3 and the shift-sweep
+            // ablation bench), so the default grounds at 1e-3 of the mean
+            // weighted degree — the scale the paper's benchmarks live at.
+            shift: ShiftPolicy::RelativeMeanDegree(1e-3),
+            grass_power_steps: 2,
+            grass_num_vectors: 3,
+            jl_probes: 24,
+            seed: 0x5eed,
+            track_trace: false,
+        }
+    }
+
+    /// Number of Johnson–Lindenstrauss probes (full-graph solves) for the
+    /// [`Method::JlResistance`] baseline (default 24).
+    pub fn jl_probes(mut self, probes: usize) -> Self {
+        self.jl_probes = probes;
+        self
+    }
+
+    /// The configured JL probe count.
+    pub fn jl_probes_value(&self) -> usize {
+        self.jl_probes
+    }
+
+    /// Fraction of `|V|` off-tree edges to recover (paper: 0.10).
+    pub fn edge_fraction(mut self, fraction: f64) -> Self {
+        self.edge_fraction = fraction;
+        self
+    }
+
+    /// Number of densification iterations `N_r` (paper: 5).
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// BFS truncation radius β of the trace-reduction sums (paper: 5).
+    pub fn beta(mut self, beta: usize) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Pruning threshold δ of Algorithm 1 (paper: 0.1).
+    pub fn spai_threshold(mut self, delta: f64) -> Self {
+        self.spai_threshold = delta;
+        self
+    }
+
+    /// BFS radius used when marking spectrally similar edges for
+    /// exclusion (default 1).
+    pub fn similarity_layers(mut self, layers: usize) -> Self {
+        self.similarity_layers = layers;
+        self
+    }
+
+    /// Enables or disables similar-edge exclusion.
+    pub fn similarity_exclusion(mut self, enabled: bool) -> Self {
+        self.use_similarity_exclusion = enabled;
+        self
+    }
+
+    /// Spanning-tree flavour (default: feGRASS's MEWST).
+    pub fn tree_kind(mut self, kind: TreeKind) -> Self {
+        self.tree_kind = kind;
+        self
+    }
+
+    /// Fill-reducing ordering used for the per-iteration factorizations.
+    pub fn ordering(mut self, ordering: Ordering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Diagonal-shift policy applied identically to `L_G` and every
+    /// subgraph Laplacian.
+    pub fn shift(mut self, shift: ShiftPolicy) -> Self {
+        self.shift = shift;
+        self
+    }
+
+    /// Number of generalized power-iteration steps `t` for the GRASS
+    /// baseline (default 2).
+    pub fn grass_power_steps(mut self, t: usize) -> Self {
+        self.grass_power_steps = t;
+        self
+    }
+
+    /// Number of independent random probe vectors for the GRASS baseline
+    /// (default 3).
+    pub fn grass_num_vectors(mut self, k: usize) -> Self {
+        self.grass_num_vectors = k;
+        self
+    }
+
+    /// RNG seed for the GRASS probes (deterministic by default).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Records a Hutchinson estimate of `Trace(L_S⁻¹ L_G)` in each
+    /// iteration's [`crate::IterationStats`] — the quantity Algorithm 2
+    /// greedily drives down. Costs one extra factorization in the first
+    /// iteration plus a few solves per iteration; off by default.
+    pub fn track_trace(mut self, enabled: bool) -> Self {
+        self.track_trace = enabled;
+        self
+    }
+
+    /// Whether per-iteration trace estimates are recorded.
+    pub fn track_trace_enabled(&self) -> bool {
+        self.track_trace
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The configured edge-recovery fraction.
+    pub fn edge_fraction_value(&self) -> f64 {
+        self.edge_fraction
+    }
+
+    /// The configured iteration count.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The configured truncation radius.
+    pub fn beta_value(&self) -> usize {
+        self.beta
+    }
+
+    /// The configured SPAI threshold.
+    pub fn spai_threshold_value(&self) -> f64 {
+        self.spai_threshold
+    }
+
+    /// The configured similarity-exclusion radius.
+    pub fn similarity_layers_value(&self) -> usize {
+        self.similarity_layers
+    }
+
+    /// Whether similar-edge exclusion is enabled.
+    pub fn similarity_exclusion_enabled(&self) -> bool {
+        self.use_similarity_exclusion
+    }
+
+    /// The configured spanning-tree flavour.
+    pub fn tree_kind_value(&self) -> TreeKind {
+        self.tree_kind
+    }
+
+    /// The configured factorization ordering.
+    pub fn ordering_value(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// The configured shift policy.
+    pub fn shift_value(&self) -> &ShiftPolicy {
+        &self.shift
+    }
+
+    /// The configured GRASS power-step count.
+    pub fn grass_power_steps_value(&self) -> usize {
+        self.grass_power_steps
+    }
+
+    /// The configured GRASS probe count.
+    pub fn grass_num_vectors_value(&self) -> usize {
+        self.grass_num_vectors
+    }
+
+    /// The configured RNG seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when a value is out of range.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !self.edge_fraction.is_finite() || self.edge_fraction < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                what: format!("edge_fraction {} must be finite and >= 0", self.edge_fraction),
+            });
+        }
+        if self.iterations == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "iterations must be at least 1".into(),
+            });
+        }
+        if !self.spai_threshold.is_finite() || self.spai_threshold < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                what: format!(
+                    "spai_threshold {} must be finite and >= 0",
+                    self.spai_threshold
+                ),
+            });
+        }
+        if self.method == Method::Grass
+            && (self.grass_num_vectors == 0 || self.grass_power_steps == 0)
+        {
+            return Err(CoreError::InvalidConfig {
+                what: "GRASS requires at least one probe vector and one power step".into(),
+            });
+        }
+        if self.method == Method::JlResistance && self.jl_probes == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "JL resistance requires at least one probe".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SparsifyConfig::default();
+        assert_eq!(cfg.method(), Method::TraceReduction);
+        assert!((cfg.edge_fraction_value() - 0.10).abs() < 1e-12);
+        assert_eq!(cfg.num_iterations(), 5);
+        assert_eq!(cfg.beta_value(), 5);
+        assert!((cfg.spai_threshold_value() - 0.1).abs() < 1e-12);
+        assert!(cfg.similarity_exclusion_enabled());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_resistance_defaults_to_single_pass() {
+        let cfg = SparsifyConfig::new(Method::EffectiveResistance);
+        assert_eq!(cfg.num_iterations(), 1);
+    }
+
+    #[test]
+    fn grass_disables_exclusion_by_default() {
+        let cfg = SparsifyConfig::new(Method::Grass);
+        assert!(!cfg.similarity_exclusion_enabled());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SparsifyConfig::new(Method::TraceReduction)
+            .edge_fraction(0.2)
+            .iterations(3)
+            .beta(2)
+            .spai_threshold(0.05)
+            .similarity_layers(2)
+            .seed(9);
+        assert!((cfg.edge_fraction_value() - 0.2).abs() < 1e-12);
+        assert_eq!(cfg.num_iterations(), 3);
+        assert_eq!(cfg.beta_value(), 2);
+        assert_eq!(cfg.similarity_layers_value(), 2);
+        assert_eq!(cfg.seed_value(), 9);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(SparsifyConfig::default().edge_fraction(-0.1).validate().is_err());
+        assert!(SparsifyConfig::default().edge_fraction(f64::NAN).validate().is_err());
+        assert!(SparsifyConfig::default().iterations(0).validate().is_err());
+        assert!(SparsifyConfig::default().spai_threshold(-1.0).validate().is_err());
+        assert!(SparsifyConfig::new(Method::Grass).grass_num_vectors(0).validate().is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the sparsification pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use tracered_graph::GraphError;
+use tracered_sparse::SparseError;
+
+/// Errors produced by the sparsifier.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A graph-level precondition failed (disconnected input, bad edge, …).
+    Graph(GraphError),
+    /// A linear-algebra step failed (factorization of an indefinite
+    /// matrix, …).
+    Sparse(SparseError),
+    /// A configuration value is out of its valid range.
+    InvalidConfig {
+        /// Description of the offending parameter.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Sparse(e) => write!(f, "sparse algebra error: {e}"),
+            CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Sparse(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<SparseError> for CoreError {
+    fn from(e: SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: CoreError = GraphError::EmptyGraph.into();
+        assert!(e.to_string().contains("graph error"));
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = SparseError::NotSymmetric.into();
+        assert!(e.to_string().contains("sparse"));
+        let e = CoreError::InvalidConfig { what: "beta".into() };
+        assert!(e.to_string().contains("beta"));
+        assert!(Error::source(&e).is_none());
+    }
+}

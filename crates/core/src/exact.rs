@@ -1,0 +1,391 @@
+//! Dense oracles for the trace-reduction machinery.
+//!
+//! Everything in this module is `O(n³)` and intended for test problems and
+//! debugging: it computes the quantities the rest of the crate
+//! *approximates*, so the test suite can bound the approximation error and
+//! verify the Sherman–Morrison trace identity exactly.
+
+use tracered_graph::laplacian::{laplacian_with_shifts, subgraph_laplacian};
+use tracered_graph::Graph;
+use tracered_sparse::{DenseMatrix, SparseError};
+
+use crate::error::CoreError;
+
+/// Dense inverse of the shifted subgraph Laplacian
+/// `L_S = L(subgraph) + diag(shifts)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Sparse`] when the shifted Laplacian is not
+/// positive definite (e.g. zero shift).
+pub fn subgraph_inverse(
+    g: &Graph,
+    subgraph_edges: &[usize],
+    shifts: &[f64],
+) -> Result<DenseMatrix, CoreError> {
+    let ls = subgraph_laplacian(g, subgraph_edges, shifts);
+    Ok(ls.to_dense().spd_inverse()?)
+}
+
+/// Exact `Trace(L_S⁻¹ L_G)` for the shifted Laplacians.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Sparse`] when `L_S` is not positive definite.
+pub fn trace_proxy(
+    g: &Graph,
+    subgraph_edges: &[usize],
+    shifts: &[f64],
+) -> Result<f64, CoreError> {
+    let lsinv = subgraph_inverse(g, subgraph_edges, shifts)?;
+    let lg = laplacian_with_shifts(g, shifts).to_dense();
+    Ok(lsinv.matmul(&lg).trace())
+}
+
+/// Exact trace reduction (paper Eq. 11) of recovering edge `edge_id` into
+/// the subgraph, evaluated with a dense `L_S⁻¹`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Sparse`] when `L_S` is not positive definite.
+pub fn trace_reduction(
+    g: &Graph,
+    subgraph_edges: &[usize],
+    shifts: &[f64],
+    edge_id: usize,
+) -> Result<f64, CoreError> {
+    let lsinv = subgraph_inverse(g, subgraph_edges, shifts)?;
+    Ok(trace_reduction_with_inverse(g, &lsinv, shifts, edge_id))
+}
+
+/// Exact trace reduction given a precomputed dense `L_S⁻¹` (avoids the
+/// repeated inversion when scoring many edges).
+///
+/// Note on the shift: the paper's Eq. 9 expands `L_G` as the pure edge sum
+/// `Σ w_ij e_ij e_ijᵀ`, but the *actual* `L_G` in the trace carries the
+/// diagonal shift as well. The exact Sherman–Morrison reduction therefore
+/// contains an extra `Σ_k s_k x_k²` term (`x = L_S⁻¹ e_pq`), which this
+/// oracle includes so the trace identity holds to machine precision. The
+/// truncated evaluators in [`crate::criticality`] follow the paper and
+/// drop it — it is `O(shift)` and irrelevant for ranking.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `edge_id` is out of bounds.
+pub fn trace_reduction_with_inverse(
+    g: &Graph,
+    lsinv: &DenseMatrix,
+    shifts: &[f64],
+    edge_id: usize,
+) -> f64 {
+    let n = g.num_nodes();
+    assert_eq!(lsinv.nrows(), n, "inverse dimension must match the graph");
+    assert_eq!(shifts.len(), n, "shift vector must match the graph");
+    let e = g.edge(edge_id);
+    let (p, q, w) = (e.u, e.v, e.weight);
+    // x = L_S⁻¹ e_pq (column p minus column q).
+    let mut x = vec![0.0; n];
+    for (i, xi) in x.iter_mut().enumerate() {
+        *xi = lsinv[(i, p)] - lsinv[(i, q)];
+    }
+    let r = x[p] - x[q]; // e_pqᵀ L_S⁻¹ e_pq
+    let mut sum = 0.0;
+    for f in g.edges() {
+        let drop = x[f.u] - x[f.v];
+        sum += f.weight * drop * drop;
+    }
+    for (k, &s) in shifts.iter().enumerate() {
+        sum += s * x[k] * x[k];
+    }
+    w * sum / (1.0 + w * r)
+}
+
+/// Solves `L x = b` on a **connected** graph with node 0 grounded
+/// (`x[0] = 0`), giving exact potentials for any `b ⊥ 1` without a
+/// diagonal shift. Used as the exact electrical model behind the
+/// tree-phase voltages.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Sparse`] when the reduced system is singular
+/// (disconnected graph).
+///
+/// # Panics
+///
+/// Panics if `b.len() != g.num_nodes()` or the graph is empty.
+pub fn grounded_solve(g: &Graph, b: &[f64]) -> Result<Vec<f64>, CoreError> {
+    let n = g.num_nodes();
+    assert!(n > 0, "graph must be non-empty");
+    assert_eq!(b.len(), n, "rhs length must equal node count");
+    let l = laplacian_with_shifts(g, &vec![0.0; n]).to_dense();
+    let mut red = DenseMatrix::zeros(n - 1, n - 1);
+    for r in 1..n {
+        for c in 1..n {
+            red[(r - 1, c - 1)] = l[(r, c)];
+        }
+    }
+    let rb: Vec<f64> = b[1..].to_vec();
+    let chol = red.cholesky().map_err(|e| match e {
+        SparseError::NotPositiveDefinite { column } => {
+            SparseError::NotPositiveDefinite { column: column + 1 }
+        }
+        other => other,
+    })?;
+    let x = chol.solve(&rb);
+    let mut out = vec![0.0; n];
+    out[1..].copy_from_slice(&x);
+    Ok(out)
+}
+
+/// Exact effective resistance across `(p, q)` in a connected graph
+/// (no shift, computed by grounding).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Sparse`] for disconnected graphs.
+pub fn effective_resistance(g: &Graph, p: usize, q: usize) -> Result<f64, CoreError> {
+    let n = g.num_nodes();
+    let mut b = vec![0.0; n];
+    b[p] += 1.0;
+    b[q] -= 1.0;
+    let x = grounded_solve(g, &b)?;
+    Ok(x[p] - x[q])
+}
+
+/// Exact (unshifted) trace-reduction analogue used to validate the
+/// tree-phase scores: Eq. 11 evaluated with grounded solves, i.e. with the
+/// Laplacian pseudo-inverse, which is the β → ∞, shift → 0 limit of the
+/// truncated score.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Sparse`] when the subgraph is disconnected.
+pub fn trace_reduction_grounded(
+    g: &Graph,
+    subgraph_edges: &[usize],
+    edge_id: usize,
+) -> Result<f64, CoreError> {
+    let sub = g.edge_subgraph(subgraph_edges);
+    let e = g.edge(edge_id);
+    let (p, q, w) = (e.u, e.v, e.weight);
+    let n = g.num_nodes();
+    let mut b = vec![0.0; n];
+    b[p] += 1.0;
+    b[q] -= 1.0;
+    let x = grounded_solve(&sub, &b)?;
+    let r = x[p] - x[q];
+    let mut sum = 0.0;
+    for f in g.edges() {
+        let drop = x[f.u] - x[f.v];
+        sum += f.weight * drop * drop;
+    }
+    Ok(w * sum / (1.0 + w * r))
+}
+
+/// Greedy *oracle* sparsifier: starting from a spanning tree, repeatedly
+/// recovers the off-subgraph edge with the **exact** maximum trace
+/// reduction (recomputing the dense inverse after every recovery).
+///
+/// This is the upper bound Algorithm 2 approximates — `O(budget · n³)`,
+/// strictly a validation tool. Returns the selected edge ids (tree
+/// first).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Graph`] for disconnected inputs and
+/// [`CoreError::Sparse`] if the shifted Laplacian is singular.
+pub fn greedy_oracle_sparsifier(
+    g: &Graph,
+    budget: usize,
+    shifts: &[f64],
+) -> Result<Vec<usize>, CoreError> {
+    let st = tracered_graph::mst::spanning_tree(
+        g,
+        tracered_graph::mst::TreeKind::MaxEffectiveWeight,
+    )?;
+    let mut selected = st.tree_edges;
+    let mut candidates = st.off_tree_edges;
+    for _ in 0..budget.min(candidates.len()) {
+        let lsinv = subgraph_inverse(g, &selected, shifts)?;
+        let (best_pos, _) = candidates
+            .iter()
+            .enumerate()
+            .map(|(pos, &eid)| (pos, trace_reduction_with_inverse(g, &lsinv, shifts, eid)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("candidates is non-empty inside the loop");
+        selected.push(candidates.swap_remove(best_pos));
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracered_graph::gen::{random_connected, WeightProfile};
+    use tracered_graph::laplacian::subgraph_laplacian;
+
+    fn setup() -> (Graph, Vec<usize>, Vec<f64>) {
+        let g = random_connected(12, 10, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 3);
+        // Subgraph: a spanning tree.
+        let st =
+            tracered_graph::mst::spanning_tree(&g, tracered_graph::mst::TreeKind::MaxWeight)
+                .unwrap();
+        let shifts = vec![1e-3; 12];
+        (g, st.tree_edges, shifts)
+    }
+
+    #[test]
+    fn sherman_morrison_trace_identity() {
+        // Tr(L_{S+e}⁻¹ L_G) = Tr(L_S⁻¹ L_G) − TrRed_S(e), exactly.
+        let (g, sub, shifts) = setup();
+        let off: Vec<usize> =
+            (0..g.num_edges()).filter(|id| !sub.contains(id)).collect();
+        let before = trace_proxy(&g, &sub, &shifts).unwrap();
+        for &eid in off.iter().take(5) {
+            let red = trace_reduction(&g, &sub, &shifts, eid).unwrap();
+            let mut sub2 = sub.clone();
+            sub2.push(eid);
+            let after = trace_proxy(&g, &sub2, &shifts).unwrap();
+            assert!(
+                (before - red - after).abs() < 1e-6 * before.abs(),
+                "identity violated: {before} - {red} vs {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_reduction_is_positive_for_off_subgraph_edges() {
+        let (g, sub, shifts) = setup();
+        for id in 0..g.num_edges() {
+            if sub.contains(&id) {
+                continue;
+            }
+            let red = trace_reduction(&g, &sub, &shifts, id).unwrap();
+            assert!(red > 0.0, "edge {id} has non-positive reduction {red}");
+        }
+    }
+
+    #[test]
+    fn grounded_solve_satisfies_kirchhoff() {
+        let (g, _, _) = setup();
+        let n = g.num_nodes();
+        let mut b = vec![0.0; n];
+        b[2] = 1.0;
+        b[7] = -1.0;
+        let x = grounded_solve(&g, &b).unwrap();
+        let l = laplacian_with_shifts(&g, &vec![0.0; n]).to_dense();
+        let lx = l.matvec(&x);
+        for i in 0..n {
+            assert!((lx[i] - b[i]).abs() < 1e-9, "node {i}");
+        }
+        assert_eq!(x[0], 0.0);
+    }
+
+    #[test]
+    fn effective_resistance_series_parallel() {
+        // Two parallel paths 0-1-2 (r=2) and 0-3-2 (r=2): R(0,2) = 1.
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0), (3, 2, 1.0)],
+        )
+        .unwrap();
+        let r = effective_resistance(&g, 0, 2).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn shifted_and_grounded_reductions_agree_for_small_shift() {
+        let (g, sub, _) = setup();
+        let tiny = vec![1e-9; g.num_nodes()];
+        let off: Vec<usize> = (0..g.num_edges()).filter(|id| !sub.contains(id)).collect();
+        for &eid in off.iter().take(4) {
+            let a = trace_reduction(&g, &sub, &tiny, eid).unwrap();
+            let b = trace_reduction_grounded(&g, &sub, eid).unwrap();
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "edge {eid}: shifted {a} vs grounded {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_subgraph_is_rejected() {
+        let (g, _, _) = setup();
+        // Empty subgraph with zero shift → singular.
+        assert!(trace_reduction_grounded(&g, &[], 0).is_err());
+    }
+
+    #[test]
+    fn greedy_oracle_beats_random_selection() {
+        let g = random_connected(16, 20, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 5);
+        let shifts = vec![5e-3; 16];
+        let budget = 4;
+        let oracle = greedy_oracle_sparsifier(&g, budget, &shifts).unwrap();
+        let oracle_trace = trace_proxy(&g, &oracle, &shifts).unwrap();
+        // Random selection: tree + first `budget` off-tree edges.
+        let st = tracered_graph::mst::spanning_tree(
+            &g,
+            tracered_graph::mst::TreeKind::MaxEffectiveWeight,
+        )
+        .unwrap();
+        let mut random = st.tree_edges.clone();
+        random.extend(st.off_tree_edges.iter().take(budget).copied());
+        let random_trace = trace_proxy(&g, &random, &shifts).unwrap();
+        assert!(
+            oracle_trace <= random_trace + 1e-9,
+            "oracle trace {oracle_trace} must not exceed arbitrary pick {random_trace}"
+        );
+        assert_eq!(oracle.len(), 15 + budget);
+    }
+
+    #[test]
+    fn approximate_pipeline_tracks_the_oracle() {
+        // The full Algorithm 2 (truncated scores + SPAI) should stay
+        // within a modest factor of the exact greedy oracle's trace.
+        use crate::{sparsify, Method, SparsifyConfig};
+        use tracered_graph::gen::tri_mesh;
+        use tracered_graph::laplacian::ShiftPolicy;
+        let g = tri_mesh(7, 7, WeightProfile::LogUniform { lo: 0.5, hi: 2.0 }, 9);
+        let n = g.num_nodes();
+        let shift = 1e-2 * 2.0 * g.total_weight() / n as f64;
+        let shifts = vec![shift; n];
+        let budget = (0.10 * n as f64).round() as usize;
+        let oracle = greedy_oracle_sparsifier(&g, budget, &shifts).unwrap();
+        let oracle_trace = trace_proxy(&g, &oracle, &shifts).unwrap();
+        let cfg = SparsifyConfig::new(Method::TraceReduction)
+            .shift(ShiftPolicy::Uniform(shift))
+            .iterations(3);
+        let sp = sparsify(&g, &cfg).unwrap();
+        let approx_trace = trace_proxy(&g, sp.edge_ids(), &shifts).unwrap();
+        // Baseline: the bare tree.
+        let st = tracered_graph::mst::spanning_tree(
+            &g,
+            tracered_graph::mst::TreeKind::MaxEffectiveWeight,
+        )
+        .unwrap();
+        let tree_trace = trace_proxy(&g, &st.tree_edges, &shifts).unwrap();
+        // The approximate pipeline must capture most of the oracle's
+        // improvement over the tree.
+        let captured = (tree_trace - approx_trace) / (tree_trace - oracle_trace);
+        assert!(
+            captured > 0.6,
+            "approximation captures only {captured:.2} of the oracle's trace reduction \
+             (tree {tree_trace:.1}, approx {approx_trace:.1}, oracle {oracle_trace:.1})"
+        );
+    }
+
+    #[test]
+    fn trace_proxy_decreases_as_edges_are_added() {
+        let (g, sub, shifts) = setup();
+        let off: Vec<usize> = (0..g.num_edges()).filter(|id| !sub.contains(id)).collect();
+        let mut edges = sub.clone();
+        let mut prev = trace_proxy(&g, &edges, &shifts).unwrap();
+        for &eid in off.iter().take(4) {
+            edges.push(eid);
+            let cur = trace_proxy(&g, &edges, &shifts).unwrap();
+            assert!(cur < prev + 1e-9, "trace must be non-increasing");
+            prev = cur;
+        }
+        let _ = subgraph_laplacian(&g, &edges, &shifts);
+    }
+}

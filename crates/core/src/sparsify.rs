@@ -1,0 +1,602 @@
+//! The overall sparsification driver — **Algorithm 2** of the paper.
+//!
+//! Pipeline (shared by all three methods so comparisons isolate the
+//! criticality metric):
+//!
+//! 1. extract a low-stretch spanning tree (feGRASS's MEWST by default);
+//! 2. score all off-tree edges against the tree — trace reduction uses
+//!    the exact BFS voltage propagation of Eqs. 13–15;
+//! 3. recover the top `α·|V| / N_r` edges, skipping spectrally similar
+//!    ones;
+//! 4. for each remaining densification iteration: factorize the current
+//!    subgraph Laplacian, rebuild the criticality scores against it
+//!    (trace reduction scores through Algorithm 1's approximate factor
+//!    inverse, Eq. 20), and recover the next batch.
+
+use std::time::{Duration, Instant};
+
+use tracered_graph::laplacian::{laplacian_with_shifts, subgraph_laplacian};
+use tracered_graph::lca::tree_resistances;
+use tracered_graph::mst::spanning_tree;
+use tracered_graph::{Graph, GraphError, RootedTree};
+use tracered_sparse::{ApproxInverse, CholeskyFactor, CscMatrix, SpaiOptions};
+
+use crate::config::{Method, SparsifyConfig};
+use crate::criticality::{subgraph_phase_scores, tree_phase_scores};
+use crate::error::CoreError;
+use crate::grass::{grass_scores, probe_rng};
+use crate::similarity::SimilarityExclusion;
+
+/// Per-iteration diagnostics collected by the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// 1-based densification iteration number.
+    pub iteration: usize,
+    /// Candidates scored this iteration.
+    pub scored: usize,
+    /// Edges recovered this iteration.
+    pub recovered: usize,
+    /// Candidates skipped by similarity exclusion.
+    pub excluded_skips: usize,
+    /// Time spent factorizing the subgraph Laplacian.
+    pub factor_time: Duration,
+    /// Time spent computing criticality scores.
+    pub score_time: Duration,
+    /// Nonzeros of the approximate inverse factor (0 when unused).
+    pub spai_nnz: usize,
+    /// Hutchinson estimate of `Trace(L_S⁻¹ L_G)` *before* this
+    /// iteration's recovery (only when
+    /// [`SparsifyConfig::track_trace`] is enabled).
+    pub trace_estimate: Option<f64>,
+}
+
+/// Summary of a sparsification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsifyReport {
+    /// The criticality metric used.
+    pub method: Method,
+    /// Wall-clock time of the whole run (the paper's `T_s`).
+    pub total_time: Duration,
+    /// Time spent building the spanning tree.
+    pub tree_time: Duration,
+    /// The edge-recovery budget `α·|V|` (clamped to the off-tree count).
+    pub budget: usize,
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStats>,
+}
+
+impl std::fmt::Display for SparsifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:?}: budget {} edges, tree {:.3}s, total {:.3}s",
+            self.method,
+            self.budget,
+            self.tree_time.as_secs_f64(),
+            self.total_time.as_secs_f64()
+        )?;
+        for it in &self.iterations {
+            writeln!(
+                f,
+                "  iter {}: scored {}, recovered {}, skipped {}, factor {:.3}s, score {:.3}s",
+                it.iteration,
+                it.scored,
+                it.recovered,
+                it.excluded_skips,
+                it.factor_time.as_secs_f64(),
+                it.score_time.as_secs_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A spectral sparsifier: a subset of the input graph's edges plus the
+/// diagonal shift under which it was constructed.
+#[derive(Debug, Clone)]
+pub struct Sparsifier {
+    edge_ids: Vec<usize>,
+    tree_edge_count: usize,
+    shifts: Vec<f64>,
+    report: SparsifyReport,
+}
+
+impl Sparsifier {
+    /// Edge ids (into the original graph) forming the sparsifier, spanning
+    /// tree first.
+    pub fn edge_ids(&self) -> &[usize] {
+        &self.edge_ids
+    }
+
+    /// Number of spanning-tree edges at the front of
+    /// [`Sparsifier::edge_ids`].
+    pub fn tree_edge_count(&self) -> usize {
+        self.tree_edge_count
+    }
+
+    /// Number of recovered off-tree edges.
+    pub fn num_recovered(&self) -> usize {
+        self.edge_ids.len() - self.tree_edge_count
+    }
+
+    /// The diagonal shift vector shared by `L_G` and `L_P`.
+    pub fn shifts(&self) -> &[f64] {
+        &self.shifts
+    }
+
+    /// Run diagnostics.
+    pub fn report(&self) -> &SparsifyReport {
+        &self.report
+    }
+
+    /// The sparsifier Laplacian `L_P` (with the construction shift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not the graph this sparsifier was built from.
+    pub fn laplacian(&self, g: &Graph) -> CscMatrix {
+        subgraph_laplacian(g, &self.edge_ids, &self.shifts)
+    }
+
+    /// The full-graph Laplacian `L_G` under the same shift, suitable for
+    /// computing `κ(L_G, L_P)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not the graph this sparsifier was built from.
+    pub fn graph_laplacian(&self, g: &Graph) -> CscMatrix {
+        laplacian_with_shifts(g, &self.shifts)
+    }
+
+    /// The sparsifier as a standalone graph over the same node set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not the graph this sparsifier was built from.
+    pub fn as_graph(&self, g: &Graph) -> Graph {
+        g.edge_subgraph(&self.edge_ids)
+    }
+}
+
+/// Runs graph spectral sparsification (paper Algorithm 2, or one of the
+/// baselines selected by [`SparsifyConfig::new`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for out-of-range parameters,
+/// [`CoreError::Graph`] for empty or disconnected inputs, and
+/// [`CoreError::Sparse`] if a subgraph factorization fails (e.g. a zero
+/// shift made the Laplacian singular).
+pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError> {
+    cfg.validate()?;
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph.into());
+    }
+    if !g.is_connected() {
+        return Err(GraphError::Disconnected { components: g.num_components() }.into());
+    }
+    let shifts = cfg.shift_value().shifts(g)?;
+    let t_start = Instant::now();
+
+    // Step 1: low-stretch spanning tree.
+    let t_tree = Instant::now();
+    let st = spanning_tree(g, cfg.tree_kind_value())?;
+    // Root at the heaviest node: keeps BFS trees shallow on meshes.
+    let root = (0..n)
+        .max_by(|&a, &b| {
+            g.weighted_degree(a)
+                .partial_cmp(&g.weighted_degree(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0);
+    let tree = RootedTree::build(g, &st.tree_edges, root)?;
+    let tree_time = t_tree.elapsed();
+
+    let budget =
+        ((cfg.edge_fraction_value() * n as f64).round() as usize).min(st.off_tree_edges.len());
+    let nr = cfg.num_iterations();
+    let lg = laplacian_with_shifts(g, &shifts);
+    let mut rng = probe_rng(cfg.seed_value());
+
+    let mut selected = st.tree_edges.clone();
+    let tree_edge_count = selected.len();
+    let mut candidates = st.off_tree_edges;
+    let mut excl = SimilarityExclusion::new(n, cfg.similarity_layers_value());
+    let mut iterations = Vec::new();
+    let mut remaining = budget;
+
+    for iter_idx in 0..nr {
+        if remaining == 0 || candidates.is_empty() {
+            break;
+        }
+        let quota = remaining.div_ceil(nr - iter_idx).min(remaining);
+        let mut stats = IterationStats {
+            iteration: iter_idx + 1,
+            scored: candidates.len(),
+            recovered: 0,
+            excluded_skips: 0,
+            factor_time: Duration::ZERO,
+            score_time: Duration::ZERO,
+            spai_nnz: 0,
+            trace_estimate: None,
+        };
+        if cfg.track_trace_enabled() {
+            let ls = subgraph_laplacian(g, &selected, &shifts);
+            if let Ok(factor) = CholeskyFactor::factorize(&ls, cfg.ordering_value()) {
+                stats.trace_estimate = Some(crate::metrics::trace_proxy_hutchinson(
+                    &lg,
+                    &factor,
+                    8,
+                    cfg.seed_value() ^ iter_idx as u64,
+                ));
+            }
+        }
+
+        // --- Score candidates against the current subgraph. ---
+        let t_score = Instant::now();
+        let scores: Vec<f64> = if iter_idx == 0 {
+            match cfg.method() {
+                Method::TraceReduction => {
+                    let pairs: Vec<(usize, usize)> =
+                        candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
+                    let rs = tree_resistances(&tree, &pairs);
+                    tree_phase_scores(g, &tree, &candidates, &rs, cfg.beta_value())
+                }
+                Method::EffectiveResistance => {
+                    let pairs: Vec<(usize, usize)> =
+                        candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
+                    let rs = tree_resistances(&tree, &pairs);
+                    candidates
+                        .iter()
+                        .zip(rs.iter())
+                        .map(|(&id, &r)| g.edge(id).weight * r)
+                        .collect()
+                }
+                Method::Grass => {
+                    let t_factor = Instant::now();
+                    let ls = subgraph_laplacian(g, &selected, &shifts);
+                    let factor = CholeskyFactor::factorize(&ls, cfg.ordering_value())?;
+                    stats.factor_time = t_factor.elapsed();
+                    grass_scores(
+                        g,
+                        &lg,
+                        &factor,
+                        &candidates,
+                        cfg.grass_power_steps_value(),
+                        cfg.grass_num_vectors_value(),
+                        &mut rng,
+                    )
+                }
+                Method::JlResistance => {
+                    // Spielman–Srivastava: resistances in the *full* graph,
+                    // which costs a full-graph factorization — exactly the
+                    // expense the paper's introduction calls out.
+                    let t_factor = Instant::now();
+                    let full_factor = CholeskyFactor::factorize(&lg, cfg.ordering_value())?;
+                    stats.factor_time = t_factor.elapsed();
+                    crate::jl::jl_scores(
+                        g,
+                        &full_factor,
+                        &candidates,
+                        cfg.jl_probes_value(),
+                        cfg.seed_value(),
+                    )
+                }
+            }
+        } else {
+            let t_factor = Instant::now();
+            let ls = subgraph_laplacian(g, &selected, &shifts);
+            let factor = CholeskyFactor::factorize(&ls, cfg.ordering_value())?;
+            stats.factor_time = t_factor.elapsed();
+            match cfg.method() {
+                Method::TraceReduction => {
+                    let zinv = ApproxInverse::build(
+                        factor.l(),
+                        SpaiOptions::with_threshold(cfg.spai_threshold_value()),
+                    )?;
+                    stats.spai_nnz = zinv.nnz();
+                    let subgraph = g.edge_subgraph(&selected);
+                    subgraph_phase_scores(
+                        g,
+                        &subgraph,
+                        &factor,
+                        &zinv,
+                        &candidates,
+                        cfg.beta_value(),
+                    )
+                }
+                Method::Grass => grass_scores(
+                    g,
+                    &lg,
+                    &factor,
+                    &candidates,
+                    cfg.grass_power_steps_value(),
+                    cfg.grass_num_vectors_value(),
+                    &mut rng,
+                ),
+                Method::EffectiveResistance => {
+                    // Single-pass method; if the user forces more
+                    // iterations, keep re-ranking by tree resistance.
+                    let pairs: Vec<(usize, usize)> =
+                        candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
+                    let rs = tree_resistances(&tree, &pairs);
+                    candidates
+                        .iter()
+                        .zip(rs.iter())
+                        .map(|(&id, &r)| g.edge(id).weight * r)
+                        .collect()
+                }
+                Method::JlResistance => {
+                    // Single-pass method: keep the full-graph ranking.
+                    let t_factor = Instant::now();
+                    let full_factor = CholeskyFactor::factorize(&lg, cfg.ordering_value())?;
+                    stats.factor_time = t_factor.elapsed();
+                    crate::jl::jl_scores(
+                        g,
+                        &full_factor,
+                        &candidates,
+                        cfg.jl_probes_value(),
+                        cfg.seed_value(),
+                    )
+                }
+            }
+        };
+        stats.score_time = t_score.elapsed();
+
+        // --- Rank and recover the iteration quota. ---
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| candidates[a].cmp(&candidates[b]))
+        });
+        let mut picked_flags = vec![false; candidates.len()];
+        let mut picked = 0usize;
+        if cfg.similarity_exclusion_enabled() {
+            excl.begin_iteration();
+            let mark_graph = g.edge_subgraph(&selected);
+            for &ci in &order {
+                if picked == quota {
+                    break;
+                }
+                let e = g.edge(candidates[ci]);
+                if excl.is_excluded(e.u, e.v) {
+                    stats.excluded_skips += 1;
+                    continue;
+                }
+                picked_flags[ci] = true;
+                picked += 1;
+                excl.mark_recovered(&mark_graph, e.u, e.v);
+            }
+        }
+        // Honour the budget even when exclusion filtered too aggressively
+        // (keeps edge counts identical across methods for fair κ
+        // comparisons).
+        if picked < quota {
+            for &ci in &order {
+                if picked == quota {
+                    break;
+                }
+                if !picked_flags[ci] {
+                    picked_flags[ci] = true;
+                    picked += 1;
+                }
+            }
+        }
+        let mut next_candidates = Vec::with_capacity(candidates.len() - picked);
+        for (ci, &id) in candidates.iter().enumerate() {
+            if picked_flags[ci] {
+                selected.push(id);
+            } else {
+                next_candidates.push(id);
+            }
+        }
+        candidates = next_candidates;
+        remaining -= picked;
+        stats.recovered = picked;
+        iterations.push(stats);
+    }
+
+    let report = SparsifyReport {
+        method: cfg.method(),
+        total_time: t_start.elapsed(),
+        tree_time,
+        budget,
+        iterations,
+    };
+    Ok(Sparsifier { edge_ids: selected, tree_edge_count, shifts, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::relative_condition_number;
+    use tracered_graph::gen::{grid2d, random_connected, tri_mesh, WeightProfile};
+    use tracered_sparse::order::Ordering;
+
+    fn kappa(g: &Graph, sp: &Sparsifier) -> f64 {
+        let lg = sp.graph_laplacian(g);
+        let lp = sp.laplacian(g);
+        let f = CholeskyFactor::factorize(&lp, Ordering::MinDegree).unwrap();
+        relative_condition_number(&lg, &f, 60, 42)
+    }
+
+    #[test]
+    fn sparsifier_has_tree_plus_budget_edges() {
+        let g = grid2d(15, 15, WeightProfile::Unit, 1);
+        let cfg = SparsifyConfig::new(Method::TraceReduction);
+        let sp = sparsify(&g, &cfg).unwrap();
+        let n = g.num_nodes();
+        assert_eq!(sp.tree_edge_count(), n - 1);
+        assert_eq!(sp.num_recovered(), (0.10f64 * n as f64).round() as usize);
+        assert_eq!(sp.edge_ids().len(), sp.tree_edge_count() + sp.num_recovered());
+    }
+
+    #[test]
+    fn sparsifier_is_connected_subgraph() {
+        let g = tri_mesh(12, 12, WeightProfile::LogUniform { lo: 0.1, hi: 10.0 }, 2);
+        let sp = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        assert!(sp.as_graph(&g).is_connected());
+        // No duplicate edge ids.
+        let mut ids = sp.edge_ids().to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), sp.edge_ids().len());
+    }
+
+    #[test]
+    fn recovering_edges_improves_kappa_over_tree() {
+        let g = grid2d(14, 14, WeightProfile::Unit, 3);
+        let tree_only = sparsify(&g, &SparsifyConfig::default().edge_fraction(0.0)).unwrap();
+        let sparsified = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        let k_tree = kappa(&g, &tree_only);
+        let k_sp = kappa(&g, &sparsified);
+        assert!(
+            k_sp < k_tree,
+            "recovered edges must improve conditioning: tree {k_tree} vs sparsifier {k_sp}"
+        );
+    }
+
+    #[test]
+    fn trace_reduction_beats_effective_resistance_on_meshes() {
+        // The paper's headline: trace reduction produces better sparsifiers
+        // than effective-resistance ranking at the same edge count.
+        let g = tri_mesh(14, 14, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 7);
+        let k_tr = kappa(
+            &g,
+            &sparsify(&g, &SparsifyConfig::new(Method::TraceReduction)).unwrap(),
+        );
+        let k_er = kappa(
+            &g,
+            &sparsify(&g, &SparsifyConfig::new(Method::EffectiveResistance)).unwrap(),
+        );
+        assert!(
+            k_tr < k_er * 1.05,
+            "trace reduction ({k_tr}) should not lose to effective resistance ({k_er})"
+        );
+    }
+
+    #[test]
+    fn all_methods_produce_equal_edge_counts() {
+        let g = grid2d(12, 12, WeightProfile::Unit, 5);
+        let counts: Vec<usize> = [
+            Method::TraceReduction,
+            Method::Grass,
+            Method::EffectiveResistance,
+            Method::JlResistance,
+        ]
+        .into_iter()
+        .map(|m| sparsify(&g, &SparsifyConfig::new(m)).unwrap().edge_ids().len())
+        .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn jl_resistance_produces_competitive_sparsifier() {
+        // JL sampling weights w·R_G are the theoretically-grounded
+        // criticalities; the sparsifier they produce must be in the same
+        // quality league as tree-resistance ranking.
+        let g = tri_mesh(12, 12, WeightProfile::LogUniform { lo: 0.3, hi: 3.0 }, 11);
+        let k_jl = kappa(&g, &sparsify(&g, &SparsifyConfig::new(Method::JlResistance)).unwrap());
+        let k_er = kappa(
+            &g,
+            &sparsify(&g, &SparsifyConfig::new(Method::EffectiveResistance)).unwrap(),
+        );
+        assert!(k_jl >= 1.0 && k_er >= 1.0);
+        assert!(k_jl < k_er * 3.0, "JL κ {k_jl} should be comparable to tree-ER κ {k_er}");
+        // And the full-graph factorization cost is recorded.
+        let sp = sparsify(&g, &SparsifyConfig::new(Method::JlResistance)).unwrap();
+        assert!(sp.report().iterations[0].factor_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_fraction_returns_spanning_tree() {
+        let g = random_connected(40, 60, WeightProfile::Unit, 9);
+        let sp = sparsify(&g, &SparsifyConfig::default().edge_fraction(0.0)).unwrap();
+        assert_eq!(sp.edge_ids().len(), 39);
+        assert_eq!(sp.num_recovered(), 0);
+    }
+
+    #[test]
+    fn huge_fraction_recovers_everything() {
+        let g = random_connected(30, 50, WeightProfile::Unit, 4);
+        let sp = sparsify(&g, &SparsifyConfig::default().edge_fraction(10.0)).unwrap();
+        assert_eq!(sp.edge_ids().len(), g.num_edges());
+    }
+
+    #[test]
+    fn rejects_disconnected_and_empty() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(matches!(
+            sparsify(&g, &SparsifyConfig::default()),
+            Err(CoreError::Graph(GraphError::Disconnected { .. }))
+        ));
+        let e = Graph::from_edges(0, &[]).unwrap();
+        assert!(matches!(
+            sparsify(&e, &SparsifyConfig::default()),
+            Err(CoreError::Graph(GraphError::EmptyGraph))
+        ));
+    }
+
+    #[test]
+    fn report_accounts_for_all_recovered_edges() {
+        let g = grid2d(12, 12, WeightProfile::Unit, 8);
+        let sp = sparsify(&g, &SparsifyConfig::default().iterations(3)).unwrap();
+        let recovered: usize = sp.report().iterations.iter().map(|i| i.recovered).sum();
+        assert_eq!(recovered, sp.num_recovered());
+        assert_eq!(sp.report().iterations.len(), 3);
+        assert!(sp.report().iterations.iter().skip(1).all(|i| i.spai_nnz > 0));
+        let text = sp.report().to_string();
+        assert!(text.contains("iter 1"));
+    }
+
+    #[test]
+    fn tracked_trace_decreases_across_iterations() {
+        let g = tri_mesh(12, 12, WeightProfile::LogUniform { lo: 0.5, hi: 2.0 }, 4);
+        let sp = sparsify(
+            &g,
+            &SparsifyConfig::default().iterations(4).track_trace(true),
+        )
+        .unwrap();
+        let traces: Vec<f64> = sp
+            .report()
+            .iterations
+            .iter()
+            .map(|it| it.trace_estimate.expect("tracking enabled"))
+            .collect();
+        assert_eq!(traces.len(), 4);
+        // Each iteration's recoveries must lower the trace seen by the
+        // next one (Hutchinson noise allowed: 5% slack).
+        for w in traces.windows(2) {
+            assert!(
+                w[1] < w[0] * 1.05,
+                "trace must trend down across iterations: {traces:?}"
+            );
+        }
+        assert!(traces.last().unwrap() * 1.5 < traces[0], "overall drop expected: {traces:?}");
+    }
+
+    #[test]
+    fn trace_tracking_off_by_default() {
+        let g = grid2d(8, 8, WeightProfile::Unit, 2);
+        let sp = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        assert!(sp.report().iterations.iter().all(|it| it.trace_estimate.is_none()));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = tri_mesh(10, 10, WeightProfile::LogUniform { lo: 0.5, hi: 2.0 }, 6);
+        let a = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        let b = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        assert_eq!(a.edge_ids(), b.edge_ids());
+    }
+
+    #[test]
+    fn single_node_graph_yields_empty_sparsifier() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let sp = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        assert!(sp.edge_ids().is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the sparsification pipeline.
+
+use proptest::prelude::*;
+use tracered_core::exact;
+use tracered_core::metrics::relative_condition_number;
+use tracered_core::{sparsify, Method, SparsifyConfig};
+use tracered_graph::gen::{random_connected, WeightProfile};
+use tracered_graph::mst::{spanning_tree, TreeKind};
+use tracered_graph::Graph;
+use tracered_sparse::order::Ordering;
+use tracered_sparse::CholeskyFactor;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (8usize..30, 5usize..40, 0u64..500).prop_map(|(n, extra, seed)| {
+        random_connected(n, extra, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sparsifier_invariants_hold_for_all_methods(g in arb_graph()) {
+        for method in [Method::TraceReduction, Method::Grass, Method::EffectiveResistance] {
+            let cfg = SparsifyConfig::new(method).edge_fraction(0.15).iterations(3);
+            let sp = sparsify(&g, &cfg).unwrap();
+            // Spans and stays connected.
+            prop_assert!(sp.as_graph(&g).is_connected());
+            // Tree + budget edges, no duplicates.
+            let budget = ((0.15 * g.num_nodes() as f64).round() as usize)
+                .min(g.num_edges() + 1 - g.num_nodes());
+            prop_assert_eq!(sp.edge_ids().len(), g.num_nodes() - 1 + budget);
+            let mut ids = sp.edge_ids().to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), sp.edge_ids().len());
+        }
+    }
+
+    #[test]
+    fn kappa_improves_monotonically_with_budget(g in arb_graph()) {
+        let kappa = |fraction: f64| -> f64 {
+            let sp = sparsify(&g, &SparsifyConfig::default().edge_fraction(fraction)).unwrap();
+            let lg = sp.graph_laplacian(&g);
+            let lp = sp.laplacian(&g);
+            let f = CholeskyFactor::factorize(&lp, Ordering::MinDegree).unwrap();
+            relative_condition_number(&lg, &f, 50, 7)
+        };
+        let k0 = kappa(0.0);
+        let k_all = kappa(10.0); // everything recovered → κ = 1
+        prop_assert!(k_all <= k0 * (1.0 + 1e-6));
+        prop_assert!((k_all - 1.0).abs() < 1e-4, "full recovery must give κ = 1, got {k_all}");
+    }
+
+    #[test]
+    fn exact_trace_identity_on_random_subgraphs(g in arb_graph(), extra in 0usize..4) {
+        let st = spanning_tree(&g, TreeKind::MaxWeight).unwrap();
+        let mut sub = st.tree_edges.clone();
+        sub.extend(st.off_tree_edges.iter().take(extra).copied());
+        let shifts = vec![1e-2; g.num_nodes()];
+        if let Some(&eid) = st.off_tree_edges.get(extra) {
+            let before = exact::trace_proxy(&g, &sub, &shifts).unwrap();
+            let red = exact::trace_reduction(&g, &sub, &shifts, eid).unwrap();
+            let mut sub2 = sub.clone();
+            sub2.push(eid);
+            let after = exact::trace_proxy(&g, &sub2, &shifts).unwrap();
+            prop_assert!(
+                (before - red - after).abs() < 1e-8 * before.abs().max(1.0),
+                "Sherman–Morrison identity: {before} - {red} != {after}"
+            );
+            prop_assert!(red > 0.0);
+        }
+    }
+
+    #[test]
+    fn sparsify_is_deterministic(g in arb_graph()) {
+        let a = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        let b = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        prop_assert_eq!(a.edge_ids(), b.edge_ids());
+        let ga = sparsify(&g, &SparsifyConfig::new(Method::Grass)).unwrap();
+        let gb = sparsify(&g, &SparsifyConfig::new(Method::Grass)).unwrap();
+        prop_assert_eq!(ga.edge_ids(), gb.edge_ids());
+    }
+}

@@ -1,0 +1,211 @@
+//! β-layer breadth-first search neighbourhoods.
+//!
+//! The paper's truncated trace reduction (its Eq. 12) restricts the
+//! summation to graph edges running between `Nbr(p, β)` and `Nbr(q, β)`,
+//! the node sets found by β-layer BFS from the candidate edge's endpoints.
+//! The BFS is performed **in the current subgraph** (where the electrical
+//! model lives), while the edges that get summed come from the full graph.
+
+use crate::graph::Graph;
+
+/// A node discovered by [`bfs_layers`], with its BFS predecessor
+/// information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsNode {
+    /// The discovered node.
+    pub node: usize,
+    /// BFS predecessor (`node` itself for the start node).
+    pub pred: usize,
+    /// Id of the edge from `pred` to `node` (`usize::MAX` for the start).
+    pub pred_edge: usize,
+    /// BFS depth (0 for the start node).
+    pub depth: usize,
+}
+
+/// Reusable scratch space for repeated BFS traversals over the same node
+/// set, avoiding an O(n) clear per call.
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    mark: Vec<u64>,
+    round: u64,
+    queue: std::collections::VecDeque<(usize, usize)>,
+}
+
+impl BfsScratch {
+    /// Creates scratch space for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BfsScratch { mark: vec![0; n], round: 0, queue: std::collections::VecDeque::new() }
+    }
+
+    /// Dimension the scratch was created for.
+    pub fn len(&self) -> usize {
+        self.mark.len()
+    }
+
+    /// Returns `true` when created for an empty node set.
+    pub fn is_empty(&self) -> bool {
+        self.mark.is_empty()
+    }
+}
+
+/// Collects the nodes within `layers` BFS layers of `start` in graph `g`,
+/// in discovery order (the start node first, depth 0).
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds or `scratch` was created for a
+/// different node count.
+pub fn bfs_layers(g: &Graph, start: usize, layers: usize, scratch: &mut BfsScratch) -> Vec<BfsNode> {
+    assert_eq!(scratch.len(), g.num_nodes(), "scratch sized for a different graph");
+    assert!(start < g.num_nodes(), "start node out of bounds");
+    scratch.round += 1;
+    let round = scratch.round;
+    let mut out = Vec::new();
+    scratch.queue.clear();
+    scratch.queue.push_back((start, 0));
+    scratch.mark[start] = round;
+    out.push(BfsNode { node: start, pred: start, pred_edge: usize::MAX, depth: 0 });
+    while let Some((v, d)) = scratch.queue.pop_front() {
+        if d == layers {
+            continue;
+        }
+        for &(u, edge_id) in g.neighbors(v) {
+            if scratch.mark[u] != round {
+                scratch.mark[u] = round;
+                out.push(BfsNode { node: u, pred: v, pred_edge: edge_id, depth: d + 1 });
+                scratch.queue.push_back((u, d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Marks the nodes within `layers` BFS layers of `start` by setting
+/// `marks[node] = stamp`. Returns the number of nodes marked.
+///
+/// This is the cheap variant used by the similarity-exclusion rule, where
+/// only membership matters.
+///
+/// # Panics
+///
+/// Panics if `start` or `marks` are inconsistent with `g`.
+pub fn mark_neighborhood(
+    g: &Graph,
+    start: usize,
+    layers: usize,
+    marks: &mut [u64],
+    stamp: u64,
+    queue: &mut std::collections::VecDeque<(usize, usize)>,
+) -> usize {
+    assert_eq!(marks.len(), g.num_nodes(), "marks sized for a different graph");
+    let mut count = 0;
+    queue.clear();
+    if marks[start] != stamp {
+        marks[start] = stamp;
+        count += 1;
+    }
+    queue.push_back((start, 0));
+    while let Some((v, d)) = queue.pop_front() {
+        if d == layers {
+            continue;
+        }
+        for &(u, _) in g.neighbors(v) {
+            if marks[u] != stamp {
+                marks[u] = stamp;
+                count += 1;
+                queue.push_back((u, d + 1));
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn zero_layers_is_just_start() {
+        let g = path(5);
+        let mut scratch = BfsScratch::new(5);
+        let nodes = bfs_layers(&g, 2, 0, &mut scratch);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].node, 2);
+        assert_eq!(nodes[0].depth, 0);
+    }
+
+    #[test]
+    fn layers_grow_along_path() {
+        let g = path(7);
+        let mut scratch = BfsScratch::new(7);
+        let nodes = bfs_layers(&g, 3, 2, &mut scratch);
+        let mut ids: Vec<usize> = nodes.iter().map(|b| b.node).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        for b in &nodes {
+            assert!(b.depth <= 2);
+            if b.node != 3 {
+                // Predecessor is one step closer to the start.
+                let pd = nodes.iter().find(|x| x.node == b.pred).unwrap().depth;
+                assert_eq!(pd + 1, b.depth);
+            }
+        }
+    }
+
+    #[test]
+    fn pred_edges_reference_real_edges() {
+        let g = path(6);
+        let mut scratch = BfsScratch::new(6);
+        for b in bfs_layers(&g, 0, 3, &mut scratch) {
+            if b.node == 0 {
+                assert_eq!(b.pred_edge, usize::MAX);
+            } else {
+                let e = g.edge(b.pred_edge);
+                assert!(
+                    (e.u == b.pred && e.v == b.node) || (e.v == b.pred && e.u == b.node),
+                    "pred edge must connect pred and node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_calls() {
+        let g = path(5);
+        let mut scratch = BfsScratch::new(5);
+        let a = bfs_layers(&g, 0, 1, &mut scratch);
+        let b = bfs_layers(&g, 4, 1, &mut scratch);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].node, 4);
+    }
+
+    #[test]
+    fn mark_neighborhood_counts_nodes() {
+        let g = path(9);
+        let mut marks = vec![0u64; 9];
+        let mut queue = std::collections::VecDeque::new();
+        let count = mark_neighborhood(&g, 4, 2, &mut marks, 7, &mut queue);
+        assert_eq!(count, 5);
+        for (i, &m) in marks.iter().enumerate() {
+            let expect = (2..=6).contains(&i);
+            assert_eq!(m == 7, expect, "node {i}");
+        }
+        // Re-marking with the same stamp adds nothing.
+        let count2 = mark_neighborhood(&g, 4, 2, &mut marks, 7, &mut queue);
+        assert_eq!(count2, 0);
+    }
+
+    #[test]
+    fn whole_graph_reached_with_large_layer_count() {
+        let g = path(6);
+        let mut scratch = BfsScratch::new(6);
+        let nodes = bfs_layers(&g, 0, 100, &mut scratch);
+        assert_eq!(nodes.len(), 6);
+    }
+}

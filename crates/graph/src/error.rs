@@ -1,0 +1,112 @@
+//! Error type for graph construction and graph algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or processing graphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint does not name a valid node.
+    NodeOutOfBounds {
+        /// Offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// Self-loops are not representable in a Laplacian and are rejected.
+    SelfLoop {
+        /// The node carrying the self-loop.
+        node: usize,
+    },
+    /// Edge weights must be finite and strictly positive.
+    InvalidWeight {
+        /// Index of the edge in the input list.
+        edge: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// The operation requires a connected graph.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+    /// A set of edges expected to form a spanning tree does not.
+    NotATree {
+        /// Human-readable description of the violation.
+        what: String,
+    },
+    /// Malformed external data (e.g. a Matrix Market file).
+    ParseError {
+        /// Line number (1-based) where parsing failed, when known.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+    /// An I/O failure while reading or writing graph files.
+    Io {
+        /// Stringified I/O error (kept as a string so the error stays `Clone`).
+        what: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::InvalidWeight { edge, weight } => {
+                write!(f, "edge {edge} has invalid weight {weight} (must be finite and > 0)")
+            }
+            GraphError::Disconnected { components } => {
+                write!(f, "graph is disconnected ({components} components)")
+            }
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::NotATree { what } => write!(f, "edge set is not a spanning tree: {what}"),
+            GraphError::ParseError { line, what } => {
+                write!(f, "parse error at line {line}: {what}")
+            }
+            GraphError::Io { what } => write!(f, "i/o error: {what}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io { what: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::NodeOutOfBounds { node: 7, num_nodes: 5 }, "7"),
+            (GraphError::SelfLoop { node: 3 }, "3"),
+            (GraphError::InvalidWeight { edge: 2, weight: -1.0 }, "-1"),
+            (GraphError::Disconnected { components: 4 }, "4"),
+            (GraphError::EmptyGraph, "no nodes"),
+            (GraphError::NotATree { what: "cycle".into() }, "cycle"),
+            (GraphError::ParseError { line: 9, what: "bad".into() }, "line 9"),
+            (GraphError::Io { what: "gone".into() }, "gone"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

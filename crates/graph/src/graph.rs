@@ -1,0 +1,415 @@
+//! The weighted undirected graph type.
+
+use crate::error::GraphError;
+
+/// A weighted undirected edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint (always `< v` after construction).
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// Positive finite weight (a conductance, in circuit terms).
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Creates an edge, normalising the endpoint order so `u < v`.
+    pub fn new(u: usize, v: usize, weight: f64) -> Self {
+        if u <= v {
+            Edge { u, v, weight }
+        } else {
+            Edge { u: v, v: u, weight }
+        }
+    }
+
+    /// The endpoint opposite to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this edge.
+    pub fn other(&self, node: usize) -> usize {
+        if node == self.u {
+            self.v
+        } else {
+            assert_eq!(node, self.v, "node {node} is not an endpoint");
+            self.u
+        }
+    }
+}
+
+/// A weighted undirected graph with CSR-style adjacency.
+///
+/// Nodes are `0..num_nodes()`. Parallel edges are permitted (they simply
+/// add conductance); self-loops and non-positive weights are rejected at
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use tracered_graph::Graph;
+///
+/// # fn main() -> Result<(), tracered_graph::GraphError> {
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)])?;
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert!((g.weighted_degree(1) - 3.0).abs() < 1e-12);
+/// assert!(g.is_connected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    /// CSR offsets into `adj`; length `num_nodes + 1`.
+    adj_offsets: Vec<usize>,
+    /// Flattened adjacency: `(neighbour, edge_id)` pairs.
+    adj: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph from `(u, v, weight)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`], [`GraphError::SelfLoop`]
+    /// or [`GraphError::InvalidWeight`] when the input is malformed.
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(usize, usize, f64)],
+    ) -> Result<Self, GraphError> {
+        let list: Vec<Edge> = edges.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+        Self::from_edge_list(num_nodes, list)
+    }
+
+    /// Builds a graph from an [`Edge`] list.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::from_edges`].
+    pub fn from_edge_list(num_nodes: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        for (idx, e) in edges.iter().enumerate() {
+            if e.u >= num_nodes || e.v >= num_nodes {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: e.u.max(e.v),
+                    num_nodes,
+                });
+            }
+            if e.u == e.v {
+                return Err(GraphError::SelfLoop { node: e.u });
+            }
+            if !e.weight.is_finite() || e.weight <= 0.0 {
+                return Err(GraphError::InvalidWeight { edge: idx, weight: e.weight });
+            }
+        }
+        let mut adj_offsets = vec![0usize; num_nodes + 1];
+        for e in &edges {
+            adj_offsets[e.u + 1] += 1;
+            adj_offsets[e.v + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            adj_offsets[i + 1] += adj_offsets[i];
+        }
+        let mut next = adj_offsets.clone();
+        let mut adj = vec![(0usize, 0usize); 2 * edges.len()];
+        for (id, e) in edges.iter().enumerate() {
+            adj[next[e.u]] = (e.v, id);
+            next[e.u] += 1;
+            adj[next[e.v]] = (e.u, id);
+            next[e.v] += 1;
+        }
+        Ok(Graph { num_nodes, edges, adj_offsets, adj })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.num_edges()`.
+    pub fn edge(&self, id: usize) -> Edge {
+        self.edges[id]
+    }
+
+    /// Neighbours of `node` as `(neighbour, edge_id)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn neighbors(&self, node: usize) -> &[(usize, usize)] {
+        &self.adj[self.adj_offsets[node]..self.adj_offsets[node + 1]]
+    }
+
+    /// Unweighted degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj_offsets[node + 1] - self.adj_offsets[node]
+    }
+
+    /// Weighted degree (total incident conductance) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.num_nodes()`.
+    pub fn weighted_degree(&self, node: usize) -> f64 {
+        self.neighbors(node).iter().map(|&(_, id)| self.edges[id].weight).sum()
+    }
+
+    /// Weighted degrees of all nodes.
+    pub fn weighted_degrees(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.num_nodes];
+        for e in &self.edges {
+            d[e.u] += e.weight;
+            d[e.v] += e.weight;
+        }
+        d
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Number of connected components (isolated nodes count as components).
+    pub fn num_components(&self) -> usize {
+        let mut visited = vec![false; self.num_nodes];
+        let mut components = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.num_nodes {
+            if visited[s] {
+                continue;
+            }
+            components += 1;
+            visited[s] = true;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &(u, _) in self.neighbors(v) {
+                    if !visited[u] {
+                        visited[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Returns `true` if the graph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        self.num_nodes > 0 && self.num_components() == 1
+    }
+
+    /// Builds the subgraph spanned by a set of edge ids, over the same
+    /// node set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge id is out of bounds.
+    pub fn edge_subgraph(&self, edge_ids: &[usize]) -> Graph {
+        let edges: Vec<Edge> = edge_ids.iter().map(|&id| self.edges[id]).collect();
+        Graph::from_edge_list(self.num_nodes, edges)
+            .expect("edges of a valid graph form a valid subgraph")
+    }
+
+    /// Builds the subgraph induced by a node subset, relabeling nodes to
+    /// `0..nodes.len()`. Returns the subgraph and the old-id vector
+    /// (`mapping[new] = old`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or out-of-bounds ids.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut old_to_new = vec![usize::MAX; self.num_nodes];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(old < self.num_nodes, "node {old} out of bounds");
+            assert_eq!(old_to_new[old], usize::MAX, "duplicate node {old}");
+            old_to_new[old] = new;
+        }
+        let mut edges = Vec::new();
+        for e in &self.edges {
+            let (nu, nv) = (old_to_new[e.u], old_to_new[e.v]);
+            if nu != usize::MAX && nv != usize::MAX {
+                edges.push(Edge::new(nu, nv, e.weight));
+            }
+        }
+        let sub = Graph::from_edge_list(nodes.len(), edges)
+            .expect("relabeled edges of a valid graph are valid");
+        (sub, nodes.to_vec())
+    }
+
+    /// Node sets of the connected components, largest first.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut visited = vec![false; self.num_nodes];
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for s in 0..self.num_nodes {
+            if visited[s] {
+                continue;
+            }
+            let mut comp = vec![s];
+            visited[s] = true;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &(u, _) in self.neighbors(v) {
+                    if !visited[u] {
+                        visited[u] = true;
+                        comp.push(u);
+                        stack.push(u);
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalises_order() {
+        let e = Edge::new(5, 2, 1.0);
+        assert_eq!((e.u, e.v), (2, 5));
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        Edge::new(0, 1, 1.0).other(7);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2, 1.0)]),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(Graph::from_edges(2, &[(1, 1, 1.0)]), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 1, 0.0)]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 1, f64::NAN)]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 1, -3.0)]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)])
+            .unwrap();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        let n0: Vec<usize> = g.neighbors(0).iter().map(|&(v, _)| v).collect();
+        assert!(n0.contains(&1) && n0.contains(&3));
+        // Edge ids in the adjacency refer back to the right edges.
+        for node in 0..4 {
+            for &(nbr, id) in g.neighbors(node) {
+                let e = g.edge(id);
+                assert!(e.u == node && e.v == nbr || e.v == node && e.u == nbr);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_degrees_sum_to_twice_total_weight() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.5), (1, 2, 2.5), (2, 3, 3.0)]).unwrap();
+        let total: f64 = g.weighted_degrees().iter().sum();
+        assert!((total - 2.0 * g.total_weight()).abs() < 1e-12);
+        assert!((g.weighted_degree(1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let connected = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(connected.is_connected());
+        let disconnected = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(!disconnected.is_connected());
+        assert_eq!(disconnected.num_components(), 2);
+        let isolated = Graph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        assert_eq!(isolated.num_components(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_not_connected() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.num_components(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert!((g.weighted_degree(0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_and_filters() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)])
+            .unwrap();
+        let (sub, map) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Only edge (1,2) survives; (3,4) loses node 3.
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.edge(0).weight, 2.0);
+        assert_eq!(map, vec![1, 2, 4]);
+        let (e0u, e0v) = (sub.edge(0).u, sub.edge(0).v);
+        assert_eq!((map[e0u], map[e0v]), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        g.induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn components_are_sorted_by_size() {
+        let g = Graph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]).unwrap();
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+        assert_eq!(comps[2], vec![5]);
+    }
+
+    #[test]
+    fn edge_subgraph_selects_edges() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]).unwrap();
+        let s = g.edge_subgraph(&[0, 2]);
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.edge(1).weight, 3.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Matrix Market import/export for graphs.
+//!
+//! The paper's test matrices come from the SuiteSparse collection in
+//! Matrix Market format. This module lets users drop real `.mtx` files
+//! into the benchmark harness: an SDD matrix is interpreted as a graph
+//! (off-diagonal `a_ij ≠ 0` becomes an edge of weight `|a_ij|`) plus a
+//! per-node diagonal *slack* (the amount by which each diagonal entry
+//! exceeds the node's weighted degree — physical ground conductance).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// A graph read from a Matrix Market file, with the diagonal slack needed
+/// to reconstruct the original SDD matrix as `L_G + diag(slack)`.
+#[derive(Debug, Clone)]
+pub struct MmGraph {
+    /// The graph (off-diagonal structure).
+    pub graph: Graph,
+    /// Per-node diagonal slack (zero when the file stores a pure
+    /// Laplacian; clamped at zero if a diagonal is slightly deficient).
+    pub diag_slack: Vec<f64>,
+}
+
+/// Reads a graph from a Matrix Market `coordinate` file.
+///
+/// Supported qualifiers: `real` / `integer` / `pattern`, `symmetric` /
+/// `general`. For `general` files both `(i, j)` and `(j, i)` may appear;
+/// duplicate off-diagonal entries are averaged.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseError`] on malformed content and
+/// [`GraphError::Io`] on read failure.
+pub fn read_graph<R: Read>(reader: R) -> Result<MmGraph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    // Header.
+    let (mut lineno, header) = match lines.next() {
+        Some((i, l)) => (i + 1, l?),
+        None => {
+            return Err(GraphError::ParseError { line: 1, what: "empty file".into() });
+        }
+    };
+    let header_lower = header.to_lowercase();
+    if !header_lower.starts_with("%%matrixmarket") {
+        return Err(GraphError::ParseError {
+            line: 1,
+            what: "missing %%MatrixMarket header".into(),
+        });
+    }
+    if !header_lower.contains("coordinate") {
+        return Err(GraphError::ParseError {
+            line: 1,
+            what: "only coordinate format is supported".into(),
+        });
+    }
+    let pattern = header_lower.contains("pattern");
+    let symmetric = header_lower.contains("symmetric");
+    if header_lower.contains("complex") || header_lower.contains("hermitian") {
+        return Err(GraphError::ParseError {
+            line: 1,
+            what: "complex matrices are not supported".into(),
+        });
+    }
+
+    // Size line (skipping comments).
+    let (n, _m, nnz) = loop {
+        let (i, l) = lines.next().ok_or(GraphError::ParseError {
+            line: lineno + 1,
+            what: "missing size line".into(),
+        })?;
+        lineno = i + 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(GraphError::ParseError {
+                line: lineno,
+                what: format!("size line must have 3 fields, found {}", parts.len()),
+            });
+        }
+        let parse = |s: &str| -> Result<usize, GraphError> {
+            s.parse().map_err(|_| GraphError::ParseError {
+                line: lineno,
+                what: format!("invalid integer '{s}'"),
+            })
+        };
+        break (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
+    };
+
+    let mut diag = vec![0.0f64; n];
+    // Accumulate off-diagonal magnitudes keyed by (min, max) to merge
+    // general-format mirror entries.
+    let mut acc: std::collections::HashMap<(usize, usize), (f64, usize)> =
+        std::collections::HashMap::with_capacity(nnz);
+    let mut seen = 0usize;
+    for (i, l) in lines {
+        let lineno = i + 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let expect = if pattern { 2 } else { 3 };
+        if parts.len() < expect {
+            return Err(GraphError::ParseError {
+                line: lineno,
+                what: format!("entry line must have {expect} fields"),
+            });
+        }
+        let r: usize = parts[0].parse().map_err(|_| GraphError::ParseError {
+            line: lineno,
+            what: format!("invalid row index '{}'", parts[0]),
+        })?;
+        let c: usize = parts[1].parse().map_err(|_| GraphError::ParseError {
+            line: lineno,
+            what: format!("invalid column index '{}'", parts[1]),
+        })?;
+        if r == 0 || c == 0 || r > n || c > n {
+            return Err(GraphError::ParseError {
+                line: lineno,
+                what: format!("entry ({r}, {c}) out of bounds for size {n}"),
+            });
+        }
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            parts[2].parse().map_err(|_| GraphError::ParseError {
+                line: lineno,
+                what: format!("invalid value '{}'", parts[2]),
+            })?
+        };
+        if !v.is_finite() {
+            return Err(GraphError::ParseError {
+                line: lineno,
+                what: format!("non-finite value {v}"),
+            });
+        }
+        let (r, c) = (r - 1, c - 1);
+        if r == c {
+            diag[r] += v;
+        } else {
+            let key = (r.min(c), r.max(c));
+            let e = acc.entry(key).or_insert((0.0, 0));
+            e.0 += v.abs();
+            e.1 += 1;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(GraphError::ParseError {
+            line: lineno,
+            what: format!("expected {nnz} entries, found {seen}"),
+        });
+    }
+    let mut edges: Vec<(usize, usize, f64)> = acc
+        .into_iter()
+        .map(|((u, v), (sum, count))| {
+            // Symmetric files store each edge once, so duplicates are
+            // genuine parallel edges whose conductances add. General files
+            // mirror every off-diagonal entry, so the pair averages back to
+            // the single edge weight.
+            let w = if symmetric { sum } else { sum / count as f64 };
+            (u, v, w)
+        })
+        .filter(|&(_, _, w)| w > 0.0)
+        .collect();
+    edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    let graph = Graph::from_edges(n, &edges).map_err(|e| GraphError::ParseError {
+        line: lineno,
+        what: format!("invalid graph: {e}"),
+    })?;
+    // Diagonal slack = diagonal − weighted degree (clamped at 0).
+    let deg = graph.weighted_degrees();
+    let diag_slack: Vec<f64> = diag
+        .iter()
+        .zip(deg.iter())
+        .map(|(&d, &wd)| if d == 0.0 { 0.0 } else { (d - wd).max(0.0) })
+        .collect();
+    Ok(MmGraph { graph, diag_slack })
+}
+
+/// Reads a graph from a Matrix Market file on disk.
+///
+/// # Errors
+///
+/// See [`read_graph`].
+pub fn read_graph_path<P: AsRef<Path>>(path: P) -> Result<MmGraph, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_graph(f)
+}
+
+/// Writes a graph as the Matrix Market file of its Laplacian
+/// `L_G + diag(slack)` (coordinate, real, symmetric; lower triangle).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure and
+/// [`GraphError::NodeOutOfBounds`] if `slack` has the wrong length.
+pub fn write_laplacian<W: Write>(
+    mut w: W,
+    g: &Graph,
+    slack: &[f64],
+) -> Result<(), GraphError> {
+    if slack.len() != g.num_nodes() {
+        return Err(GraphError::NodeOutOfBounds {
+            node: slack.len(),
+            num_nodes: g.num_nodes(),
+        });
+    }
+    let n = g.num_nodes();
+    let nnz = n + g.num_edges();
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(w, "% written by tracered-graph")?;
+    writeln!(w, "{n} {n} {nnz}")?;
+    let deg = g.weighted_degrees();
+    for i in 0..n {
+        writeln!(w, "{} {} {:.17e}", i + 1, i + 1, deg[i] + slack[i])?;
+    }
+    for e in g.edges() {
+        // Lower triangle: row > column.
+        writeln!(w, "{} {} {:.17e}", e.v + 1, e.u + 1, -e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_symmetric_laplacian() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    3 3 5\n\
+                    1 1 2.5\n\
+                    2 2 3.0\n\
+                    3 3 1.0\n\
+                    2 1 -1.5\n\
+                    3 2 -1.0\n";
+        let mm = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(mm.graph.num_nodes(), 3);
+        assert_eq!(mm.graph.num_edges(), 2);
+        let e0 = mm.graph.edge(0);
+        assert_eq!((e0.u, e0.v), (0, 1));
+        assert!((e0.weight - 1.5).abs() < 1e-12);
+        // Slack: node 0 has diag 2.5, degree 1.5 → slack 1.
+        assert!((mm.diag_slack[0] - 1.0).abs() < 1e-12);
+        assert!((mm.diag_slack[1] - 0.5).abs() < 1e-12);
+        assert!((mm.diag_slack[2] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_pattern_matrix() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 1\n";
+        let mm = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(mm.graph.num_edges(), 2);
+        assert!(mm.graph.edges().iter().all(|e| e.weight == 1.0));
+    }
+
+    #[test]
+    fn reads_general_with_mirrored_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 2\n\
+                    1 2 -2.0\n\
+                    2 1 -2.0\n";
+        let mm = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(mm.graph.num_edges(), 1);
+        assert!((mm.graph.edge(0).weight - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_graph("".as_bytes()).is_err());
+        assert!(read_graph("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_graph("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        let bad_count = "%%MatrixMarket matrix coordinate real symmetric\n2 2 5\n1 1 1.0\n";
+        assert!(read_graph(bad_count.as_bytes()).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n5 1 1.0\n";
+        assert!(read_graph(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let g = crate::gen::grid2d(3, 3, crate::gen::WeightProfile::Uniform { lo: 0.5, hi: 2.0 }, 1);
+        let slack: Vec<f64> = (0..9).map(|i| i as f64 * 0.1).collect();
+        let mut buf = Vec::new();
+        write_laplacian(&mut buf, &g, &slack).unwrap();
+        let mm = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(mm.graph.num_nodes(), 9);
+        assert_eq!(mm.graph.num_edges(), g.num_edges());
+        for (a, b) in mm.diag_slack.iter().zip(slack.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // Edge weights survive.
+        let mut orig: Vec<(usize, usize, f64)> =
+            g.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        let mut back: Vec<(usize, usize, f64)> =
+            mm.graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        back.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (o, b) in orig.iter().zip(back.iter()) {
+            assert_eq!(o.0, b.0);
+            assert_eq!(o.1, b.1);
+            assert!((o.2 - b.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_valued_offdiagonals_are_dropped() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 0.0\n";
+        let mm = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(mm.graph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Disjoint-set union with path compression and union by rank.
+//!
+//! Used by Kruskal's spanning-tree construction and by Tarjan's offline
+//! LCA algorithm (which needs the `assign_name` variant where the root's
+//! reported label differs from the structural root).
+
+/// A union-find structure over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use tracered_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0), "already joined");
+/// assert_eq!(uf.find(0), uf.find(1));
+/// assert_ne!(uf.find(0), uf.find(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Optional per-set label, settable independently of the structural
+    /// root (Tarjan's LCA "ancestor" array).
+    label: Vec<usize>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets, each labelled by itself.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            label: (0..n).collect(),
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Finds the representative of `x`'s set (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets of `a` and `b`. Returns `true` if they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.num_sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` belong to the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The label of `x`'s set (Tarjan LCA support).
+    pub fn label_of(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.label[r]
+    }
+
+    /// Sets the label of `x`'s set.
+    pub fn set_label(&mut self, x: usize, label: usize) {
+        let r = self.find(x);
+        self.label[r] = label;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_disjoint() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.num_sets(), 3);
+        assert!(!uf.same_set(0, 1));
+    }
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.num_sets(), 2);
+        assert!(uf.same_set(1, 2));
+        assert!(!uf.same_set(1, 4));
+    }
+
+    #[test]
+    fn duplicate_union_is_noop() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn labels_track_sets() {
+        let mut uf = UnionFind::new(4);
+        uf.set_label(2, 99);
+        assert_eq!(uf.label_of(2), 99);
+        uf.union(2, 3);
+        uf.set_label(3, 42);
+        assert_eq!(uf.label_of(2), 42);
+    }
+
+    #[test]
+    fn path_compression_preserves_find() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..100 {
+            assert_eq!(uf.find(i), r);
+        }
+        assert_eq!(uf.num_sets(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use tracered_graph::gen::{random_connected, WeightProfile};
+use tracered_graph::laplacian::{laplacian, ShiftPolicy};
+use tracered_graph::lca::{offline_lca, tree_resistances};
+use tracered_graph::mst::{spanning_tree, TreeKind};
+use tracered_graph::{Graph, RootedTree};
+
+/// Random connected graph sized for property tests.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..20, 0usize..25, 0u64..1000).prop_map(|(n, extra, seed)| {
+        random_connected(n, extra, WeightProfile::LogUniform { lo: 0.1, hi: 10.0 }, seed)
+    })
+}
+
+/// Exact effective resistance across (p, q) in a graph, by grounding node 0
+/// and solving densely.
+fn dense_resistance(g: &Graph, p: usize, q: usize) -> f64 {
+    let n = g.num_nodes();
+    let l = laplacian(g, ShiftPolicy::None).unwrap().to_dense();
+    // Reduced system without row/col 0.
+    let mut red = tracered_sparse::DenseMatrix::zeros(n - 1, n - 1);
+    for r in 1..n {
+        for c in 1..n {
+            red[(r - 1, c - 1)] = l[(r, c)];
+        }
+    }
+    let mut b = vec![0.0; n - 1];
+    if p != 0 {
+        b[p - 1] += 1.0;
+    }
+    if q != 0 {
+        b[q - 1] -= 1.0;
+    }
+    let x = red.cholesky().unwrap().solve(&b);
+    let xp = if p == 0 { 0.0 } else { x[p - 1] };
+    let xq = if q == 0 { 0.0 } else { x[q - 1] };
+    xp - xq
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spanning_tree_partitions_edges(g in arb_graph()) {
+        for kind in [TreeKind::MaxWeight, TreeKind::MaxEffectiveWeight] {
+            let st = spanning_tree(&g, kind).unwrap();
+            prop_assert_eq!(st.tree_edges.len(), g.num_nodes() - 1);
+            prop_assert_eq!(
+                st.tree_edges.len() + st.off_tree_edges.len(),
+                g.num_edges()
+            );
+            let t = g.edge_subgraph(&st.tree_edges);
+            prop_assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn offline_lca_matches_climbing(g in arb_graph()) {
+        let st = spanning_tree(&g, TreeKind::MaxEffectiveWeight).unwrap();
+        let tree = RootedTree::build(&g, &st.tree_edges, 0).unwrap();
+        let n = g.num_nodes();
+        let queries: Vec<(usize, usize)> =
+            (0..n).flat_map(|a| (0..n).map(move |b| (a, b))).collect();
+        let fast = offline_lca(&tree, &queries);
+        for (k, &(a, b)) in queries.iter().enumerate() {
+            prop_assert_eq!(fast[k], tree.lca_by_climbing(a, b));
+        }
+    }
+
+    #[test]
+    fn tree_resistance_equals_electrical_resistance_on_trees(g in arb_graph()) {
+        // Restrict the graph to its spanning tree; on a tree, the path
+        // resistance *is* the effective resistance of the network.
+        let st = spanning_tree(&g, TreeKind::MaxWeight).unwrap();
+        let tree_graph = g.edge_subgraph(&st.tree_edges);
+        let ids: Vec<usize> = (0..tree_graph.num_edges()).collect();
+        let tree = RootedTree::build(&tree_graph, &ids, 0).unwrap();
+        let n = g.num_nodes();
+        let pairs: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        let rs = tree_resistances(&tree, &pairs);
+        for (k, &(p, q)) in pairs.iter().enumerate() {
+            let exact = dense_resistance(&tree_graph, p, q);
+            prop_assert!(
+                (rs[k] - exact).abs() < 1e-8 * (1.0 + exact.abs()),
+                "pair ({p},{q}): lca-based {} vs dense {exact}", rs[k]
+            );
+        }
+    }
+
+    #[test]
+    fn laplacian_is_psd_and_has_zero_row_sums(g in arb_graph()) {
+        let l = laplacian(&g, ShiftPolicy::None).unwrap();
+        let n = g.num_nodes();
+        let ones = vec![1.0; n];
+        for v in l.matvec(&ones) {
+            prop_assert!(v.abs() < 1e-9);
+        }
+        // Quadratic form equals the weighted sum of squared differences.
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let lx = l.matvec(&x);
+        let quad: f64 = x.iter().zip(lx.iter()).map(|(a, b)| a * b).sum();
+        let manual: f64 = g
+            .edges()
+            .iter()
+            .map(|e| e.weight * (x[e.u] - x[e.v]).powi(2))
+            .sum();
+        prop_assert!((quad - manual).abs() < 1e-8 * (1.0 + manual.abs()));
+        prop_assert!(quad >= -1e-9);
+    }
+
+    #[test]
+    fn max_weight_tree_dominates_effective_weight_tree_in_raw_weight(g in arb_graph()) {
+        let mw = spanning_tree(&g, TreeKind::MaxWeight).unwrap();
+        let ew = spanning_tree(&g, TreeKind::MaxEffectiveWeight).unwrap();
+        let weight = |ids: &[usize]| -> f64 { ids.iter().map(|&i| g.edge(i).weight).sum() };
+        prop_assert!(weight(&mw.tree_edges) >= weight(&ew.tree_edges) - 1e-9);
+    }
+
+    #[test]
+    fn mmio_roundtrip(g in arb_graph()) {
+        let slack: Vec<f64> = (0..g.num_nodes()).map(|i| (i % 3) as f64 * 0.25).collect();
+        let mut buf = Vec::new();
+        tracered_graph::mmio::write_laplacian(&mut buf, &g, &slack).unwrap();
+        let mm = tracered_graph::mmio::read_graph(buf.as_slice()).unwrap();
+        prop_assert_eq!(mm.graph.num_nodes(), g.num_nodes());
+        // Edge multiset must match (up to parallel-edge merging: the
+        // generator can produce parallel edges, which the Laplacian merges).
+        let mut orig: std::collections::HashMap<(usize, usize), f64> = Default::default();
+        for e in g.edges() {
+            *orig.entry((e.u, e.v)).or_insert(0.0) += e.weight;
+        }
+        prop_assert_eq!(mm.graph.num_edges(), orig.len());
+        for e in mm.graph.edges() {
+            let w = orig[&(e.u, e.v)];
+            prop_assert!((e.weight - w).abs() < 1e-9 * (1.0 + w));
+        }
+        for (a, b) in mm.diag_slack.iter().zip(slack.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

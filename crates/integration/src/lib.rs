@@ -1,0 +1,2 @@
+//! Anchor crate for the repository-root `tests/` directory; see the
+//! `[[test]]` entries in `Cargo.toml`. Contains no library code.

@@ -1,0 +1,378 @@
+//! Spectral graph partitioning (paper §4.3).
+//!
+//! The Fiedler vector — the eigenvector of the smallest nonzero Laplacian
+//! eigenvalue — orders the nodes along the graph's "softest" direction;
+//! splitting at the median yields the classic spectral bisection of
+//! Spielman & Teng. Computing it requires repeated Laplacian solves
+//! (inverse power iteration), which is exactly where the paper plugs in
+//! its sparsifier-preconditioned PCG and measures speedups over the
+//! direct solver at matching partition quality (`RelErr`).
+//!
+//! # Example
+//!
+//! ```
+//! use tracered_graph::gen::{grid2d, WeightProfile};
+//! use tracered_partition::{bisect_direct, relative_error};
+//!
+//! # fn main() -> Result<(), tracered_sparse::SparseError> {
+//! // A rectangular grid: λ₂ is simple (a square grid's is degenerate),
+//! // so every random start converges to the same partition.
+//! let g = grid2d(12, 5, WeightProfile::Unit, 1);
+//! let a = bisect_direct(&g, 8, 1)?;
+//! let b = bisect_direct(&g, 8, 2)?;
+//! // Different random starts, same partition (up to side swap).
+//! assert!(relative_error(&a.side, &b.side) < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tracered_graph::laplacian::laplacian_with_shifts;
+use tracered_graph::Graph;
+use tracered_solver::eigen::fiedler_vector;
+use tracered_solver::pcg::{pcg, PcgOptions};
+use tracered_solver::precond::CholPreconditioner;
+use tracered_solver::DirectSolver;
+use tracered_sparse::{CscMatrix, SparseError};
+
+/// A two-way partition of a graph's nodes.
+#[derive(Debug, Clone)]
+pub struct Bisection {
+    /// Side assignment per node (`true` = upper-median Fiedler half).
+    pub side: Vec<bool>,
+    /// The Fiedler vector estimate used for the split.
+    pub fiedler: Vec<f64>,
+    /// Total weight of edges crossing the cut.
+    pub cut_weight: f64,
+    /// `|side_true| / n` — 0.5 for a perfectly balanced split.
+    pub balance: f64,
+    /// Total inner solver iterations (0 for direct solves; the paper's
+    /// `N_e` aggregated over the 5 inverse-power steps for PCG).
+    pub inner_iterations: usize,
+}
+
+/// Shift used to keep the Laplacian invertible while preserving its
+/// eigenvectors: a uniform fraction of the mean weighted degree.
+fn uniform_shift(g: &Graph) -> f64 {
+    let n = g.num_nodes().max(1);
+    1e-3 * 2.0 * g.total_weight() / n as f64
+}
+
+/// Builds the uniformly-shifted Laplacian used by both solver paths.
+fn shifted_laplacian(g: &Graph) -> (CscMatrix, f64) {
+    let s = uniform_shift(g);
+    (laplacian_with_shifts(g, &vec![s; g.num_nodes()]), s)
+}
+
+/// Splits at the median of a Fiedler vector and computes quality metrics.
+fn split(g: &Graph, fiedler: Vec<f64>, inner_iterations: usize) -> Bisection {
+    let n = g.num_nodes();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut side = vec![false; n];
+    for &i in order.iter().skip(n / 2) {
+        side[i] = true;
+    }
+    let cut_weight = g
+        .edges()
+        .iter()
+        .filter(|e| side[e.u] != side[e.v])
+        .map(|e| e.weight)
+        .sum();
+    let balance = side.iter().filter(|&&s| s).count() as f64 / n.max(1) as f64;
+    Bisection { side, fiedler, cut_weight, balance, inner_iterations }
+}
+
+/// Spectral bisection with a direct solver for the inverse-power steps
+/// (the paper's "Direct" column in Table 3).
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] for degenerate inputs.
+pub fn bisect_direct(g: &Graph, steps: usize, seed: u64) -> Result<Bisection, SparseError> {
+    let (l, _) = shifted_laplacian(g);
+    let solver = DirectSolver::new(&l)?;
+    let res = fiedler_vector(g.num_nodes(), |b| (solver.solve(b), 0), steps, seed);
+    Ok(split(g, res.vector, 0))
+}
+
+/// Spectral bisection with sparsifier-preconditioned PCG for the
+/// inverse-power steps. `precond` must be built from a sparsifier of `g`
+/// sharing the same uniform shift (see [`partition_shift`]).
+///
+/// # Errors
+///
+/// Currently infallible once the preconditioner exists, but returns
+/// `Result` for interface symmetry with [`bisect_direct`].
+pub fn bisect_pcg(
+    g: &Graph,
+    precond: &CholPreconditioner,
+    steps: usize,
+    seed: u64,
+    tol: f64,
+) -> Result<Bisection, SparseError> {
+    let (l, _) = shifted_laplacian(g);
+    let opts = PcgOptions::with_tolerance(tol);
+    let res = fiedler_vector(
+        g.num_nodes(),
+        |b| {
+            let s = pcg(&l, b, precond, &opts);
+            (s.x, s.iterations)
+        },
+        steps,
+        seed,
+    );
+    Ok(split(g, res.vector, res.total_inner_iterations))
+}
+
+/// The uniform diagonal shift [`bisect_direct`] / [`bisect_pcg`] apply —
+/// build sparsifier preconditioners under the same shift so the
+/// preconditioned operator stays spectrally matched.
+pub fn partition_shift(g: &Graph) -> f64 {
+    uniform_shift(g)
+}
+
+/// A k-way partition produced by recursive spectral bisection.
+#[derive(Debug, Clone)]
+pub struct KWayPartition {
+    /// Part index (`0..k`) per node.
+    pub assignment: Vec<usize>,
+    /// Number of parts.
+    pub parts: usize,
+    /// Total weight of edges crossing between different parts.
+    pub cut_weight: f64,
+}
+
+impl KWayPartition {
+    /// Sizes of the parts.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts];
+        for &p in &self.assignment {
+            sizes[p] += 1;
+        }
+        sizes
+    }
+}
+
+/// Recursive spectral bisection into `k` parts (`k ≥ 1`), the standard
+/// extension of Fiedler bisection used by spectral partitioners. Each
+/// level splits the induced subgraph at a size-proportional quantile of
+/// its Fiedler vector; disconnected pieces fall back to balanced
+/// component packing.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the graph is empty.
+pub fn recursive_bisection(
+    g: &Graph,
+    k: usize,
+    steps: usize,
+    seed: u64,
+) -> Result<KWayPartition, SparseError> {
+    assert!(k > 0, "at least one part is required");
+    assert!(g.num_nodes() > 0, "graph must be non-empty");
+    let mut assignment = vec![0usize; g.num_nodes()];
+    let all: Vec<usize> = (0..g.num_nodes()).collect();
+    let mut next_part = 0usize;
+    partition_rec(g, &all, k, steps, seed, &mut assignment, &mut next_part)?;
+    let cut_weight = g
+        .edges()
+        .iter()
+        .filter(|e| assignment[e.u] != assignment[e.v])
+        .map(|e| e.weight)
+        .sum();
+    Ok(KWayPartition { assignment, parts: next_part, cut_weight })
+}
+
+/// Recursive helper: partitions the node subset `nodes` into `k` parts,
+/// writing final part ids through `assignment` / `next_part`.
+fn partition_rec(
+    g: &Graph,
+    nodes: &[usize],
+    k: usize,
+    steps: usize,
+    seed: u64,
+    assignment: &mut [usize],
+    next_part: &mut usize,
+) -> Result<(), SparseError> {
+    if k == 1 || nodes.len() <= 1 {
+        let id = *next_part;
+        *next_part += 1;
+        for &v in nodes {
+            assignment[v] = id;
+        }
+        return Ok(());
+    }
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    // Target size of the left side, proportional to its part count.
+    let left_target = nodes.len() * k_left / k;
+    let (sub, map) = g.induced_subgraph(nodes);
+    let (left, right): (Vec<usize>, Vec<usize>) = if sub.is_connected() && sub.num_edges() > 0 {
+        // Split at the size-proportional quantile of the Fiedler vector.
+        let shift = 1e-3 * 2.0 * sub.total_weight() / sub.num_nodes().max(1) as f64;
+        let l = laplacian_with_shifts(&sub, &vec![shift; sub.num_nodes()]);
+        let solver = DirectSolver::new(&l)?;
+        let res = fiedler_vector(sub.num_nodes(), |b| (solver.solve(b), 0), steps, seed);
+        let mut order: Vec<usize> = (0..sub.num_nodes()).collect();
+        order.sort_by(|&a, &b| {
+            res.vector[a]
+                .partial_cmp(&res.vector[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let left: Vec<usize> = order[..left_target].iter().map(|&i| map[i]).collect();
+        let right: Vec<usize> = order[left_target..].iter().map(|&i| map[i]).collect();
+        (left, right)
+    } else {
+        // Disconnected (or edgeless) piece: pack components greedily into
+        // the smaller side first.
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for comp in sub.components() {
+            let target = if left.len() <= left_target.saturating_sub(1) {
+                &mut left
+            } else {
+                &mut right
+            };
+            target.extend(comp.iter().map(|&i| map[i]));
+        }
+        if left.is_empty() {
+            left.push(right.pop().expect("at least two nodes in this branch"));
+        }
+        (left, right)
+    };
+    partition_rec(g, &left, k_left, steps, seed.wrapping_add(1), assignment, next_part)?;
+    partition_rec(g, &right, k_right, steps, seed.wrapping_add(2), assignment, next_part)
+}
+
+/// Fraction of nodes assigned to different sides, minimised over the
+/// global side swap (partitions are defined up to relabeling). This is
+/// the paper's `RelErr`.
+///
+/// # Panics
+///
+/// Panics if the two assignments have different lengths.
+pub fn relative_error(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "assignments must have equal length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let diff = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+    let n = a.len();
+    (diff.min(n - diff)) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracered_core::{sparsify, SparsifyConfig};
+    use tracered_graph::gen::{grid2d, tri_mesh, WeightProfile};
+    use tracered_graph::laplacian::ShiftPolicy;
+
+    #[test]
+    fn grid_bisection_is_balanced_contiguous_cut() {
+        let g = grid2d(10, 10, WeightProfile::Unit, 1);
+        let b = bisect_direct(&g, 8, 3).unwrap();
+        assert!((b.balance - 0.5).abs() < 0.02);
+        // Optimal cut of a 10×10 grid is 10; spectral should be close.
+        assert!(b.cut_weight <= 14.0, "cut weight {}", b.cut_weight);
+    }
+
+    #[test]
+    fn two_cluster_graph_is_split_on_the_weak_edge() {
+        let mut edges = Vec::new();
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                edges.push((a, b, 1.0));
+                edges.push((a + 8, b + 8, 1.0));
+            }
+        }
+        edges.push((0, 8, 0.01));
+        let g = Graph::from_edges(16, &edges).unwrap();
+        let b = bisect_direct(&g, 10, 1).unwrap();
+        assert!((b.cut_weight - 0.01).abs() < 1e-9, "cut {}", b.cut_weight);
+        assert_eq!(b.side[0..8].iter().filter(|&&s| s).count() % 8, 0);
+    }
+
+    #[test]
+    fn pcg_bisection_matches_direct() {
+        let g = tri_mesh(12, 12, WeightProfile::Unit, 5);
+        let direct = bisect_direct(&g, 5, 7).unwrap();
+        let s = partition_shift(&g);
+        let sp = sparsify(&g, &SparsifyConfig::default().shift(ShiftPolicy::Uniform(s))).unwrap();
+        let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap();
+        let iter = bisect_pcg(&g, &pre, 5, 7, 1e-3).unwrap();
+        let err = relative_error(&direct.side, &iter.side);
+        assert!(err < 0.05, "RelErr {err} too large");
+        assert!(iter.inner_iterations > 0);
+    }
+
+    #[test]
+    fn relative_error_handles_side_swap() {
+        let a = vec![true, true, false, false];
+        let b: Vec<bool> = a.iter().map(|x| !x).collect();
+        assert_eq!(relative_error(&a, &b), 0.0);
+        let c = vec![true, false, false, false];
+        assert_eq!(relative_error(&a, &c), 0.25);
+        assert_eq!(relative_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn four_way_partition_of_grid_is_balanced_quadrants() {
+        let g = grid2d(12, 12, WeightProfile::Unit, 4);
+        let p = recursive_bisection(&g, 4, 8, 1).unwrap();
+        assert_eq!(p.parts, 4);
+        assert_eq!(p.part_sizes(), vec![36; 4]);
+        // Quadrant cut of a 12×12 grid costs 24; allow spectral slack.
+        assert!(p.cut_weight <= 40.0, "cut weight {}", p.cut_weight);
+        // Every part must be contiguous-ish: its induced subgraph connected.
+        for part in 0..4 {
+            let nodes: Vec<usize> =
+                (0..144).filter(|&v| p.assignment[v] == part).collect();
+            let (sub, _) = g.induced_subgraph(&nodes);
+            assert!(sub.is_connected(), "part {part} is disconnected");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_puts_everything_in_one_part() {
+        let g = grid2d(4, 4, WeightProfile::Unit, 1);
+        let p = recursive_bisection(&g, 1, 5, 0).unwrap();
+        assert_eq!(p.parts, 1);
+        assert_eq!(p.cut_weight, 0.0);
+        assert!(p.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn odd_k_produces_proportional_sizes() {
+        let g = grid2d(9, 10, WeightProfile::Unit, 2);
+        let p = recursive_bisection(&g, 3, 6, 3).unwrap();
+        assert_eq!(p.parts, 3);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 90);
+        for &s in &sizes {
+            assert!((25..=35).contains(&s), "part sizes {sizes:?} unbalanced");
+        }
+    }
+
+    #[test]
+    fn k_exceeding_nodes_degenerates_gracefully() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let p = recursive_bisection(&g, 8, 3, 0).unwrap();
+        assert!(p.parts <= 8);
+        assert_eq!(p.assignment.len(), 3);
+    }
+
+    #[test]
+    fn balance_is_exact_for_even_node_counts() {
+        let g = grid2d(6, 6, WeightProfile::Unit, 2);
+        let b = bisect_direct(&g, 6, 1).unwrap();
+        assert_eq!(b.side.iter().filter(|&&s| s).count(), 18);
+    }
+}

@@ -1,0 +1,193 @@
+//! Periodic pulse current waveforms with breakpoint enumeration.
+//!
+//! Variable-step transient integration must place time points at the
+//! waveform *breakpoints* (slope discontinuities of the piecewise-linear
+//! pulse) or it smears the transitions; between breakpoints the paper
+//! caps the step at 200 ps for error control. The fixed-step direct
+//! baseline must instead resolve the **smallest breakpoint spacing**,
+//! which is what makes it expensive.
+
+/// A periodic trapezoidal current pulse (SPICE `PULSE`-style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseWaveform {
+    /// Time of the first rising edge start (seconds).
+    pub delay: f64,
+    /// Rise time (seconds, > 0).
+    pub rise: f64,
+    /// Plateau width at full amplitude (seconds).
+    pub width: f64,
+    /// Fall time (seconds, > 0).
+    pub fall: f64,
+    /// Pulse period (seconds, ≥ delay-free pulse length).
+    pub period: f64,
+    /// Peak current draw (amperes).
+    pub amplitude: f64,
+}
+
+impl PulseWaveform {
+    /// Current drawn at time `t` (amperes, ≥ 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 0`.
+    pub fn value(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "time must be non-negative");
+        if t < self.delay {
+            return 0.0;
+        }
+        let tau = (t - self.delay) % self.period;
+        if tau < self.rise {
+            self.amplitude * tau / self.rise
+        } else if tau < self.rise + self.width {
+            self.amplitude
+        } else if tau < self.rise + self.width + self.fall {
+            self.amplitude * (1.0 - (tau - self.rise - self.width) / self.fall)
+        } else {
+            0.0
+        }
+    }
+
+    /// All breakpoints (slope discontinuities) in `[0, t_end]`.
+    pub fn breakpoints(&self, t_end: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut cycle_start = self.delay;
+        if cycle_start <= t_end {
+            out.push(0.0);
+        }
+        while cycle_start <= t_end {
+            for offset in [
+                0.0,
+                self.rise,
+                self.rise + self.width,
+                self.rise + self.width + self.fall,
+            ] {
+                let t = cycle_start + offset;
+                if t <= t_end {
+                    out.push(t);
+                }
+            }
+            cycle_start += self.period;
+        }
+        out
+    }
+
+    /// Smallest spacing between consecutive breakpoints — the paper's
+    /// constraint on the fixed-step direct solver.
+    pub fn min_breakpoint_gap(&self) -> f64 {
+        let tail = self.period - self.rise - self.width - self.fall;
+        let mut gap = self.rise.min(self.fall);
+        if self.width > 0.0 {
+            gap = gap.min(self.width);
+        }
+        if tail > 0.0 {
+            gap = gap.min(tail);
+        }
+        gap
+    }
+}
+
+/// Merges the breakpoints of many waveforms over `[0, t_end]`, inserting
+/// intermediate points so no interval exceeds `max_step`, and deduplicating
+/// near-coincident points (relative tolerance `1e-12·t_end`).
+pub fn merged_time_grid(waveforms: &[PulseWaveform], t_end: f64, max_step: f64) -> Vec<f64> {
+    let mut pts: Vec<f64> = vec![0.0, t_end];
+    for w in waveforms {
+        pts.extend(w.breakpoints(t_end));
+    }
+    pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let tol = 1e-12 * t_end.max(1e-30);
+    pts.dedup_by(|a, b| (*a - *b).abs() <= tol);
+    // Subdivide long gaps.
+    let mut grid = Vec::with_capacity(pts.len() * 2);
+    grid.push(pts[0]);
+    for w in pts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let gap = b - a;
+        if gap > max_step {
+            let pieces = (gap / max_step).ceil() as usize;
+            for k in 1..pieces {
+                grid.push(a + gap * k as f64 / pieces as f64);
+            }
+        }
+        grid.push(b);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse() -> PulseWaveform {
+        PulseWaveform {
+            delay: 1e-10,
+            rise: 5e-11,
+            width: 2e-10,
+            fall: 5e-11,
+            period: 1e-9,
+            amplitude: 0.01,
+        }
+    }
+
+    #[test]
+    fn value_traces_the_trapezoid() {
+        let p = pulse();
+        assert_eq!(p.value(0.0), 0.0);
+        assert_eq!(p.value(5e-11), 0.0); // before delay
+        assert!((p.value(1.25e-10) - 0.005).abs() < 1e-12); // mid-rise
+        assert_eq!(p.value(2e-10), 0.01); // plateau
+        assert!((p.value(3.75e-10) - 0.005).abs() < 1e-12); // mid-fall
+        assert_eq!(p.value(6e-10), 0.0); // tail
+    }
+
+    #[test]
+    fn periodicity() {
+        let p = pulse();
+        for t in [1.2e-10, 2.5e-10, 4e-10] {
+            assert!((p.value(t) - p.value(t + 1e-9)).abs() < 1e-15);
+            assert!((p.value(t) - p.value(t + 3e-9)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn breakpoints_cover_transitions() {
+        let p = pulse();
+        let bps = p.breakpoints(1e-9);
+        for expect in [1e-10, 1.5e-10, 3.5e-10, 4e-10] {
+            assert!(
+                bps.iter().any(|&b| (b - expect).abs() < 1e-16),
+                "missing breakpoint {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_gap_is_smallest_segment() {
+        let p = pulse();
+        assert!((p.min_breakpoint_gap() - 5e-11).abs() < 1e-20);
+    }
+
+    #[test]
+    fn merged_grid_is_sorted_unique_and_bounded() {
+        let p1 = pulse();
+        let mut p2 = pulse();
+        p2.delay = 3e-10;
+        p2.period = 7e-10;
+        let grid = merged_time_grid(&[p1, p2], 2e-9, 2e-10);
+        assert_eq!(grid[0], 0.0);
+        assert!((grid.last().unwrap() - 2e-9).abs() < 1e-18);
+        for w in grid.windows(2) {
+            assert!(w[1] > w[0], "grid must be strictly increasing");
+            assert!(w[1] - w[0] <= 2e-10 + 1e-18, "gap exceeds max step");
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_flat() {
+        let mut p = pulse();
+        p.amplitude = 0.0;
+        for k in 0..20 {
+            assert_eq!(p.value(k as f64 * 1e-10), 0.0);
+        }
+    }
+}

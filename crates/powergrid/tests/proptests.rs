@@ -1,0 +1,102 @@
+//! Property-based tests for the power-grid substrate.
+
+use proptest::prelude::*;
+use tracered_powergrid::synth::{synthesize, SynthConfig};
+use tracered_powergrid::transient::{
+    dc_operating_point, probe_pair, simulate_direct, IntegrationScheme, TransientConfig,
+};
+use tracered_powergrid::waveform::{merged_time_grid, PulseWaveform};
+
+fn arb_pulse() -> impl Strategy<Value = PulseWaveform> {
+    (1u32..6, 1u32..4, 0u32..5, 1u32..4, 8u32..30, 0.0f64..0.01).prop_map(
+        |(delay, rise, width, fall, period, amplitude)| {
+            let q = 5e-11; // 50 ps lattice
+            let rise = rise as f64 * q;
+            let width = width as f64 * q;
+            let fall = fall as f64 * q;
+            let period = (period as f64 * q).max(rise + width + fall + q);
+            PulseWaveform { delay: delay as f64 * q, rise, width, fall, period, amplitude }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pulse_value_is_bounded_and_periodic(w in arb_pulse(), t in 0.0f64..5e-9) {
+        let v = w.value(t);
+        prop_assert!((0.0..=w.amplitude + 1e-15).contains(&v));
+        if t >= w.delay {
+            prop_assert!((w.value(t) - w.value(t + w.period)).abs() < 1e-12 * w.amplitude.max(1e-12));
+        }
+    }
+
+    #[test]
+    fn pulse_is_zero_exactly_at_cycle_boundaries(w in arb_pulse()) {
+        prop_assert_eq!(w.value(w.delay), 0.0);
+        let active = w.rise + w.width + w.fall;
+        if active < w.period {
+            prop_assert!(w.value(w.delay + active + 1e-15).abs() < 1e-9 * w.amplitude.max(1e-12));
+        }
+    }
+
+    #[test]
+    fn merged_grid_contains_all_breakpoints(
+        ws in proptest::collection::vec(arb_pulse(), 1..5),
+        max_step in 1e-10f64..5e-10,
+    ) {
+        let t_end = 3e-9;
+        let grid = merged_time_grid(&ws, t_end, max_step);
+        prop_assert_eq!(grid[0], 0.0);
+        prop_assert!((grid.last().unwrap() - t_end).abs() < 1e-18);
+        let tol = 1e-12 * t_end;
+        for w in &ws {
+            for bp in w.breakpoints(t_end) {
+                prop_assert!(
+                    grid.iter().any(|&t| (t - bp).abs() <= tol),
+                    "missing breakpoint {bp}"
+                );
+            }
+        }
+        for pair in grid.windows(2) {
+            prop_assert!(pair[1] > pair[0]);
+            prop_assert!(pair[1] - pair[0] <= max_step + 1e-18);
+        }
+    }
+
+    #[test]
+    fn dc_voltages_bounded_by_vdd(seed in 0u64..50) {
+        let pg = synthesize(&SynthConfig { mesh: 8, seed, ..Default::default() });
+        let v = dc_operating_point(&pg).unwrap();
+        for &x in &v {
+            prop_assert!(x > 0.0 && x <= pg.vdd() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn transient_conserves_physicality_for_both_schemes(seed in 0u64..12) {
+        let pg = synthesize(&SynthConfig { mesh: 7, seed, source_fraction: 0.3, ..Default::default() });
+        let (near, far) = probe_pair(&pg);
+        for scheme in [IntegrationScheme::BackwardEuler, IntegrationScheme::Trapezoidal] {
+            let out = simulate_direct(
+                &pg,
+                &TransientConfig {
+                    t_end: 5e-10,
+                    fixed_step: Some(2.5e-11),
+                    scheme,
+                    ..Default::default()
+                },
+                &[near, far],
+            )
+            .unwrap();
+            for trace in &out.probes {
+                for &v in trace {
+                    // Passive RC network fed by VDD and current sinks:
+                    // voltages stay in (0, VDD] up to small numerical slack.
+                    prop_assert!(v > 0.0 && v <= pg.vdd() * 1.001, "{scheme:?}: voltage {v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration tests: sparsifier-preconditioned PCG behaves as the paper
+//! describes — fewer iterations than generic preconditioners, and better
+//! sparsifiers (lower κ) give fewer iterations.
+
+use tracered_core::{sparsify, Method, SparsifyConfig};
+use tracered_graph::gen::{tri_mesh, WeightProfile};
+use tracered_graph::Graph;
+use tracered_solver::pcg::{pcg, PcgOptions};
+use tracered_solver::precond::{CholPreconditioner, JacobiPreconditioner};
+
+fn pcg_iterations(g: &Graph, method: Method) -> (usize, f64) {
+    let sp = sparsify(g, &SparsifyConfig::new(method)).unwrap();
+    let lg = sp.graph_laplacian(g);
+    let pre = CholPreconditioner::from_matrix(&sp.laplacian(g)).unwrap();
+    let b: Vec<f64> = (0..g.num_nodes()).map(|i| ((i * 37 % 23) as f64) - 11.0).collect();
+    let sol = pcg(&lg, &b, &pre, &PcgOptions::with_tolerance(1e-6));
+    assert!(sol.converged, "PCG must converge with a sparsifier preconditioner");
+    assert!(lg.residual_inf_norm(&sol.x, &b) < 1e-3);
+    let kappa = tracered_core::metrics::relative_condition_number(
+        &lg,
+        pre.factor(),
+        60,
+        13,
+    );
+    (sol.iterations, kappa)
+}
+
+#[test]
+fn sparsifier_preconditioner_beats_jacobi() {
+    let g = tri_mesh(20, 20, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 21);
+    let sp = sparsify(&g, &SparsifyConfig::default()).unwrap();
+    let lg = sp.graph_laplacian(&g);
+    let b: Vec<f64> = (0..g.num_nodes()).map(|i| (i as f64).cos()).collect();
+    let opts = PcgOptions::with_tolerance(1e-6);
+    let jacobi = pcg(&lg, &b, &JacobiPreconditioner::from_matrix(&lg).unwrap(), &opts);
+    let chol = pcg(&lg, &b, &CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap(), &opts);
+    assert!(chol.converged);
+    assert!(
+        chol.iterations * 2 < jacobi.iterations.max(1),
+        "sparsifier PCG ({}) must be far faster than Jacobi ({})",
+        chol.iterations,
+        jacobi.iterations
+    );
+}
+
+#[test]
+fn lower_kappa_means_fewer_pcg_iterations() {
+    // The paper's core evaluation logic: trace reduction → lower κ →
+    // fewer PCG iterations than the baselines at equal edge count.
+    let g = tri_mesh(22, 22, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 8);
+    let (it_tr, k_tr) = pcg_iterations(&g, Method::TraceReduction);
+    let (it_er, k_er) = pcg_iterations(&g, Method::EffectiveResistance);
+    // Shape check, with slack for small-problem noise: trace reduction
+    // should not be meaningfully worse on either metric.
+    assert!(
+        k_tr <= k_er * 1.25,
+        "κ: trace reduction {k_tr} vs effective resistance {k_er}"
+    );
+    assert!(
+        it_tr <= it_er + 3,
+        "iterations: trace reduction {it_tr} vs effective resistance {it_er}"
+    );
+}
+
+#[test]
+fn tree_preconditioner_converges_but_slowly() {
+    let g = tri_mesh(15, 15, WeightProfile::Unit, 2);
+    let tree = sparsify(&g, &SparsifyConfig::default().edge_fraction(0.0)).unwrap();
+    let full = sparsify(&g, &SparsifyConfig::default()).unwrap();
+    let lg = full.graph_laplacian(&g);
+    let b: Vec<f64> = (0..g.num_nodes()).map(|i| ((i % 11) as f64) - 5.0).collect();
+    let opts = PcgOptions::with_tolerance(1e-6);
+    let with_tree =
+        pcg(&lg, &b, &CholPreconditioner::from_matrix(&tree.laplacian(&g)).unwrap(), &opts);
+    let with_full =
+        pcg(&lg, &b, &CholPreconditioner::from_matrix(&full.laplacian(&g)).unwrap(), &opts);
+    assert!(with_tree.converged && with_full.converged);
+    assert!(
+        with_full.iterations < with_tree.iterations,
+        "recovered edges must reduce iterations: {} vs {}",
+        with_full.iterations,
+        with_tree.iterations
+    );
+}

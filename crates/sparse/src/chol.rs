@@ -1,0 +1,472 @@
+//! Sparse Cholesky factorization `P A Pᵀ = L Lᵀ` for symmetric positive
+//! definite matrices, with an up-looking numeric kernel driven by
+//! elimination-tree row subtrees (the CSparse `cs_chol` scheme).
+//!
+//! This module is the workspace's substitute for CHOLMOD [Chen et al. 2008],
+//! which the paper uses both inside the sparsification loop (Step 12 of
+//! Algorithm 2) and as the "Direct" baseline solver of its Tables 2–3.
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::etree::{self, NO_PARENT};
+use crate::order::Ordering;
+use crate::perm::Permutation;
+
+/// Symbolic analysis of a (permuted) symmetric matrix: elimination tree and
+/// factor column pointers.
+///
+/// Reusable across numeric factorizations with the same pattern, which is
+/// how the iterative densification loop avoids re-analysing when only edge
+/// weights change.
+#[derive(Debug, Clone)]
+pub struct SymbolicCholesky {
+    /// Elimination tree (parent array) of the permuted matrix.
+    parent: Vec<usize>,
+    /// Column pointers of `L` (length `n + 1`).
+    lcolptr: Vec<usize>,
+}
+
+impl SymbolicCholesky {
+    /// Analyses the **upper triangle** of an already-permuted symmetric
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular inputs.
+    pub fn analyze(upper: &CscMatrix) -> Result<Self, SparseError> {
+        if upper.nrows() != upper.ncols() {
+            return Err(SparseError::NotSquare { nrows: upper.nrows(), ncols: upper.ncols() });
+        }
+        let n = upper.ncols();
+        let parent = etree::elimination_tree(upper);
+        let counts = etree::column_counts(upper, &parent);
+        let mut lcolptr = vec![0usize; n + 1];
+        for j in 0..n {
+            lcolptr[j + 1] = lcolptr[j] + counts[j];
+        }
+        Ok(SymbolicCholesky { parent, lcolptr })
+    }
+
+    /// Dimension of the analysed matrix.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of nonzeros the factor will have.
+    pub fn factor_nnz(&self) -> usize {
+        *self.lcolptr.last().unwrap_or(&0)
+    }
+
+    /// The elimination tree parent array.
+    pub fn parent(&self) -> &[usize] {
+        &self.parent
+    }
+}
+
+/// A sparse Cholesky factorization `P A Pᵀ = L Lᵀ`.
+///
+/// `L` is lower triangular with sorted row indices, so the diagonal entry
+/// is the first entry of every column — a property the sparse approximate
+/// inverse (Algorithm 1 of the paper) relies on.
+///
+/// # Example
+///
+/// ```
+/// use tracered_sparse::{CooMatrix, CholeskyFactor, order::Ordering};
+///
+/// # fn main() -> Result<(), tracered_sparse::SparseError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 4.0)?;
+/// coo.push(1, 1, 9.0)?;
+/// let a = coo.to_csc();
+/// let f = CholeskyFactor::factorize(&a, Ordering::Natural)?;
+/// assert_eq!(f.solve(&[8.0, 18.0]), vec![2.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    perm: Permutation,
+    l: CscMatrix,
+}
+
+impl CholeskyFactor {
+    /// Factorizes a symmetric positive definite matrix, first computing a
+    /// fill-reducing permutation with `ordering`.
+    ///
+    /// Only the upper triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (use [`CscMatrix::is_symmetric_within`] to
+    /// check when in doubt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular inputs and
+    /// [`SparseError::NotPositiveDefinite`] when a pivot fails.
+    pub fn factorize(a: &CscMatrix, ordering: Ordering) -> Result<Self, SparseError> {
+        let perm = ordering.compute(a)?;
+        Self::factorize_with_perm(a, perm)
+    }
+
+    /// Factorizes with a caller-provided permutation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CholeskyFactor::factorize`], plus
+    /// [`SparseError::DimensionMismatch`] if the permutation size differs.
+    pub fn factorize_with_perm(a: &CscMatrix, perm: Permutation) -> Result<Self, SparseError> {
+        let c = a.symmetric_perm_upper(&perm)?;
+        let symbolic = SymbolicCholesky::analyze(&c)?;
+        let l = numeric_up_looking(&c, &symbolic)?;
+        Ok(CholeskyFactor { perm, l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.l.ncols()
+    }
+
+    /// The lower-triangular factor `L` (in permuted index space).
+    pub fn l(&self) -> &CscMatrix {
+        &self.l
+    }
+
+    /// The fill-reducing permutation (new-to-old convention).
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Number of nonzeros in `L`.
+    pub fn nnz(&self) -> usize {
+        self.l.nnz()
+    }
+
+    /// Estimated memory footprint of the factor in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.l.memory_bytes()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.n()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = self.perm.apply(b); // b in permuted space
+        lsolve_in_place(&self.l, &mut x);
+        ltsolve_in_place(&self.l, &mut x);
+        self.perm.apply_inverse(&x)
+    }
+
+    /// Solves `A x = b` writing through a reusable buffer, avoiding the
+    /// allocation in [`CholeskyFactor::solve`]. `x` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differ from `self.n()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(b.len(), n, "rhs length must equal n");
+        assert_eq!(x.len(), n, "output length must equal n");
+        // Permute into x.
+        for k in 0..n {
+            x[k] = b[self.perm.new_to_old(k)];
+        }
+        lsolve_in_place(&self.l, x);
+        ltsolve_in_place(&self.l, x);
+        // Un-permute in place via a rotation-free copy.
+        let tmp = x.to_vec();
+        for k in 0..n {
+            x[self.perm.new_to_old(k)] = tmp[k];
+        }
+    }
+
+    /// Solves `L y = e_i` style systems in the **permuted** index space:
+    /// applies the forward substitution only, on a caller-managed dense
+    /// vector. Used by the trace-reduction kernels that work directly with
+    /// factor columns.
+    pub fn lsolve_permuted(&self, x: &mut [f64]) {
+        lsolve_in_place(&self.l, x);
+    }
+
+    /// Backward substitution `Lᵀ x = y` in the permuted index space.
+    pub fn ltsolve_permuted(&self, x: &mut [f64]) {
+        ltsolve_in_place(&self.l, x);
+    }
+}
+
+/// Up-looking numeric factorization of the upper triangle `c` of the
+/// permuted matrix, with precomputed symbolic structure.
+fn numeric_up_looking(
+    c: &CscMatrix,
+    symbolic: &SymbolicCholesky,
+) -> Result<CscMatrix, SparseError> {
+    let n = c.ncols();
+    let lcolptr = symbolic.lcolptr.clone();
+    let nnz = symbolic.factor_nnz();
+    let mut lrowidx = vec![0usize; nnz];
+    let mut lvalues = vec![0.0f64; nnz];
+    // next[j]: next free slot in column j of L.
+    let mut next = lcolptr.clone();
+    let mut stack = vec![0usize; n];
+    let mut wmark = vec![usize::MAX; n];
+    let mut x = vec![0.0f64; n]; // dense row accumulator
+
+    for k in 0..n {
+        // Pattern of row k of L, in topological order.
+        let top = etree::ereach(c, k, &symbolic.parent, &mut stack, &mut wmark);
+        // Scatter the upper-triangle column k of C (rows <= k) into x.
+        let (rows, vals) = c.col(k);
+        let mut d = 0.0;
+        for (&r, &v) in rows.iter().zip(vals.iter()) {
+            if r < k {
+                x[r] = v;
+            } else if r == k {
+                d = v;
+            }
+        }
+        // Solve the triangular system for row k.
+        for &j in &stack[top..n] {
+            let ljj = lvalues[lcolptr[j]]; // diagonal is first entry of column j
+            let lkj = x[j] / ljj;
+            x[j] = 0.0;
+            for p in (lcolptr[j] + 1)..next[j] {
+                x[lrowidx[p]] -= lvalues[p] * lkj;
+            }
+            d -= lkj * lkj;
+            let slot = next[j];
+            next[j] += 1;
+            lrowidx[slot] = k;
+            lvalues[slot] = lkj;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(SparseError::NotPositiveDefinite { column: k });
+        }
+        let slot = next[k];
+        next[k] += 1;
+        lrowidx[slot] = k;
+        lvalues[slot] = d.sqrt();
+    }
+    debug_assert!(
+        (0..n).all(|j| next[j] == lcolptr[j + 1]),
+        "numeric fill must match symbolic counts"
+    );
+    CscMatrix::from_raw_parts(n, n, lcolptr, lrowidx, lvalues)
+}
+
+/// In-place forward substitution `x ← L⁻¹ x` for a lower-triangular CSC
+/// matrix whose diagonal entry is the first entry of every column.
+pub fn lsolve_in_place(l: &CscMatrix, x: &mut [f64]) {
+    let n = l.ncols();
+    assert_eq!(x.len(), n, "vector length must equal n");
+    let colptr = l.colptr();
+    let rowidx = l.rowidx();
+    let values = l.values();
+    for j in 0..n {
+        let xj = x[j] / values[colptr[j]];
+        x[j] = xj;
+        if xj != 0.0 {
+            for p in (colptr[j] + 1)..colptr[j + 1] {
+                x[rowidx[p]] -= values[p] * xj;
+            }
+        }
+    }
+}
+
+/// In-place backward substitution `x ← L⁻ᵀ x`.
+pub fn ltsolve_in_place(l: &CscMatrix, x: &mut [f64]) {
+    let n = l.ncols();
+    assert_eq!(x.len(), n, "vector length must equal n");
+    let colptr = l.colptr();
+    let rowidx = l.rowidx();
+    let values = l.values();
+    for j in (0..n).rev() {
+        let mut xj = x[j];
+        for p in (colptr[j] + 1)..colptr[j + 1] {
+            xj -= values[p] * x[rowidx[p]];
+        }
+        x[j] = xj / values[colptr[j]];
+    }
+}
+
+/// Checks that every node's elimination-tree parent is its smallest
+/// strictly-above neighbour in `L` — a structural invariant used in tests.
+#[doc(hidden)]
+pub fn etree_consistent_with_factor(l: &CscMatrix, parent: &[usize]) -> bool {
+    let n = l.ncols();
+    for j in 0..n {
+        let (rows, _) = l.col(j);
+        let first_below = rows.iter().copied().find(|&r| r > j);
+        match (first_below, parent[j]) {
+            (None, p) => {
+                if p != NO_PARENT {
+                    return false;
+                }
+            }
+            (Some(r), p) => {
+                if r != p {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn grid_laplacian_shifted(k: usize, shift: f64) -> CscMatrix {
+        let n = k * k;
+        let mut coo = CooMatrix::new(n, n);
+        let id = |r: usize, c: usize| r * k + c;
+        let mut deg = vec![0.0; n];
+        let mut push_edge = |coo: &mut CooMatrix, a: usize, b: usize, deg: &mut [f64]| {
+            coo.push_symmetric(a, b, -1.0).unwrap();
+            deg[a] += 1.0;
+            deg[b] += 1.0;
+        };
+        for r in 0..k {
+            for c in 0..k {
+                if c + 1 < k {
+                    push_edge(&mut coo, id(r, c), id(r, c + 1), &mut deg);
+                }
+                if r + 1 < k {
+                    push_edge(&mut coo, id(r, c), id(r + 1, c), &mut deg);
+                }
+            }
+        }
+        for (i, &d) in deg.iter().enumerate() {
+            coo.push(i, i, d + shift).unwrap();
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = grid_laplacian_shifted(4, 0.3);
+        for ord in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree] {
+            let f = CholeskyFactor::factorize(&a, ord).unwrap();
+            // Check P A Pᵀ = L Lᵀ densely.
+            let ld = f.l().to_dense();
+            let llt = ld.matmul(&ld.transpose());
+            let ad = a.to_dense();
+            let n = a.ncols();
+            for newr in 0..n {
+                for newc in 0..n {
+                    let (or, oc) = (f.perm().new_to_old(newr), f.perm().new_to_old(newc));
+                    assert!(
+                        (llt[(newr, newc)] - ad[(or, oc)]).abs() < 1e-10,
+                        "mismatch at ({newr},{newc}) under {ord:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_dense_oracle() {
+        let a = grid_laplacian_shifted(5, 0.7);
+        let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        let dense = a.to_dense().cholesky().unwrap();
+        let b: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).sin()).collect();
+        let x_sparse = f.solve(&b);
+        let x_dense = dense.solve(&b);
+        for (s, d) in x_sparse.iter().zip(x_dense.iter()) {
+            assert!((s - d).abs() < 1e-9);
+        }
+        assert!(a.residual_inf_norm(&x_sparse, &b) < 1e-9);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = grid_laplacian_shifted(4, 0.5);
+        let f = CholeskyFactor::factorize(&a, Ordering::Rcm).unwrap();
+        let b: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 + 1.0).cos()).collect();
+        let x1 = f.solve(&b);
+        let mut x2 = vec![0.0; a.ncols()];
+        f.solve_into(&b, &mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn diagonal_is_first_entry_of_each_column() {
+        let a = grid_laplacian_shifted(4, 0.4);
+        let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        for j in 0..f.n() {
+            let (rows, vals) = f.l().col(j);
+            assert_eq!(rows[0], j, "column {j} must start with its diagonal");
+            assert!(vals[0] > 0.0);
+        }
+    }
+
+    #[test]
+    fn etree_structure_matches_factor() {
+        let a = grid_laplacian_shifted(5, 0.2);
+        let perm = Ordering::MinDegree.compute(&a).unwrap();
+        let c = a.symmetric_perm_upper(&perm).unwrap();
+        let symbolic = SymbolicCholesky::analyze(&c).unwrap();
+        let l = numeric_up_looking(&c, &symbolic).unwrap();
+        assert!(etree_consistent_with_factor(&l, symbolic.parent()));
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        let a = coo.to_csc();
+        assert!(matches!(
+            CholeskyFactor::factorize(&a, Ordering::Natural),
+            Err(SparseError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // Unshifted Laplacian of an edge: singular.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        coo.push_symmetric(0, 1, -1.0).unwrap();
+        let a = coo.to_csc();
+        assert!(matches!(
+            CholeskyFactor::factorize(&a, Ordering::Natural),
+            Err(SparseError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rectangular_is_rejected() {
+        let a = CscMatrix::zeros(2, 3);
+        assert!(matches!(
+            CholeskyFactor::factorize(&a, Ordering::Natural),
+            Err(SparseError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn triangular_solves_are_inverses() {
+        let a = grid_laplacian_shifted(4, 1.0);
+        let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        let n = f.n();
+        let mut x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 0.7).collect();
+        let orig = x.clone();
+        // L (L⁻¹ x) = x
+        lsolve_in_place(f.l(), &mut x);
+        let ld = f.l().to_dense();
+        let y = ld.matvec(&x);
+        for (a, b) in y.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn factor_nnz_reported() {
+        let a = grid_laplacian_shifted(4, 0.4);
+        let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        assert_eq!(f.nnz(), f.l().nnz());
+        assert!(f.memory_bytes() > 0);
+    }
+}

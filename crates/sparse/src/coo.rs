@@ -1,0 +1,245 @@
+//! Triplet (coordinate) format, the natural assembly format.
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix in triplet (coordinate) form.
+///
+/// Duplicate entries are allowed and are summed when converting to
+/// compressed formats, which makes `CooMatrix` the natural target for
+/// finite-element-style assembly (e.g. building graph Laplacians edge by
+/// edge).
+///
+/// # Example
+///
+/// ```
+/// use tracered_sparse::CooMatrix;
+///
+/// # fn main() -> Result<(), tracered_sparse::SparseError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0)?;
+/// coo.push(0, 0, 2.0)?; // duplicates are summed on conversion
+/// coo.push(1, 1, 4.0)?;
+/// let csc = coo.to_csc();
+/// assert_eq!(csc.get(0, 0), 3.0);
+/// assert_eq!(csc.nnz(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows` × `ncols` triplet matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an empty triplet matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends the entry `(row, col, value)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the entry lies outside
+    /// the matrix, and [`SparseError::InvalidValue`] if `value` is not
+    /// finite.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        if !value.is_finite() {
+            return Err(SparseError::InvalidValue {
+                what: format!("non-finite entry {value} at ({row}, {col})"),
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Appends a symmetric pair of off-diagonal entries
+    /// `(row, col, value)` and `(col, row, value)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CooMatrix::push`].
+    pub fn push_symmetric(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: f64,
+    ) -> Result<(), SparseError> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.values.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to compressed sparse column format, summing duplicates and
+    /// dropping exact zeros that result from cancellation.
+    pub fn to_csc(&self) -> CscMatrix {
+        // Count entries per column.
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            colptr[c + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            colptr[c + 1] += colptr[c];
+        }
+        // Scatter triplets into column buckets.
+        let nnz = self.values.len();
+        let mut next = colptr.clone();
+        let mut rowidx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        for k in 0..nnz {
+            let c = self.cols[k];
+            let slot = next[c];
+            next[c] += 1;
+            rowidx[slot] = self.rows[k];
+            values[slot] = self.values[k];
+        }
+        // Sort each column by row index and merge duplicates.
+        let mut out_colptr = vec![0usize; self.ncols + 1];
+        let mut out_rowidx = Vec::with_capacity(nnz);
+        let mut out_values = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for c in 0..self.ncols {
+            scratch.clear();
+            for k in colptr[c]..colptr[c + 1] {
+                scratch.push((rowidx[k], values[k]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut sum = 0.0;
+                while i < scratch.len() && scratch[i].0 == r {
+                    sum += scratch[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    out_rowidx.push(r);
+                    out_values.push(sum);
+                }
+            }
+            out_colptr[c + 1] = out_rowidx.len();
+        }
+        CscMatrix::from_raw_parts(self.nrows, self.ncols, out_colptr, out_rowidx, out_values)
+            .expect("conversion from a valid CooMatrix always yields a valid CscMatrix")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(matches!(coo.push(2, 0, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
+        assert!(matches!(coo.push(0, 5, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn push_rejects_non_finite() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(matches!(coo.push(0, 0, f64::NAN), Err(SparseError::InvalidValue { .. })));
+        assert!(matches!(coo.push(0, 0, f64::INFINITY), Err(SparseError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(1, 2, 1.5).unwrap();
+        coo.push(1, 2, 2.5).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        let csc = coo.to_csc();
+        assert_eq!(csc.nnz(), 2);
+        assert_eq!(csc.get(1, 2), 4.0);
+    }
+
+    #[test]
+    fn cancellation_drops_entries() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(0, 1, -1.0).unwrap();
+        let csc = coo.to_csc();
+        assert_eq!(csc.nnz(), 0);
+    }
+
+    #[test]
+    fn push_symmetric_adds_mirror() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 2, -1.0).unwrap();
+        coo.push_symmetric(1, 1, 5.0).unwrap();
+        let csc = coo.to_csc();
+        assert_eq!(csc.get(0, 2), -1.0);
+        assert_eq!(csc.get(2, 0), -1.0);
+        assert_eq!(csc.get(1, 1), 5.0);
+        assert_eq!(csc.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(4, 4);
+        let csc = coo.to_csc();
+        assert_eq!(csc.nnz(), 0);
+        assert_eq!(csc.nrows(), 4);
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        let triplets: Vec<_> = coo.iter().collect();
+        assert_eq!(triplets, vec![(0, 1, 1.0), (1, 0, 2.0)]);
+    }
+}

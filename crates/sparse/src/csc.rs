@@ -1,0 +1,687 @@
+//! Compressed sparse column storage, the format used by the Cholesky stack.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::perm::Permutation;
+
+/// A sparse matrix in compressed sparse column (CSC) form.
+///
+/// Invariants maintained by every constructor:
+///
+/// - `colptr` has length `ncols + 1`, is non-decreasing, starts at `0` and
+///   ends at `nnz`;
+/// - row indices within each column are strictly increasing (sorted, no
+///   duplicates) and smaller than `nrows`;
+/// - all stored values are finite.
+///
+/// # Example
+///
+/// ```
+/// use tracered_sparse::{CooMatrix, CscMatrix};
+///
+/// # fn main() -> Result<(), tracered_sparse::SparseError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 2.0)?;
+/// coo.push(1, 0, -1.0)?;
+/// coo.push(1, 1, 2.0)?;
+/// let a: CscMatrix = coo.to_csc();
+/// let y = a.matvec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![2.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw parts, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidFormat`] if the column pointer is
+    /// malformed or row indices are unsorted/duplicated, and
+    /// [`SparseError::InvalidValue`] if any value is non-finite.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if colptr.len() != ncols + 1 {
+            return Err(SparseError::InvalidFormat {
+                what: format!("colptr length {} != ncols + 1 = {}", colptr.len(), ncols + 1),
+            });
+        }
+        if colptr[0] != 0 || *colptr.last().unwrap() != rowidx.len() {
+            return Err(SparseError::InvalidFormat {
+                what: "colptr must start at 0 and end at nnz".into(),
+            });
+        }
+        if rowidx.len() != values.len() {
+            return Err(SparseError::InvalidFormat {
+                what: "rowidx and values must have equal length".into(),
+            });
+        }
+        for c in 0..ncols {
+            if colptr[c] > colptr[c + 1] {
+                return Err(SparseError::InvalidFormat {
+                    what: format!("colptr decreases at column {c}"),
+                });
+            }
+            for k in colptr[c]..colptr[c + 1] {
+                if rowidx[k] >= nrows {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: rowidx[k],
+                        col: c,
+                        nrows,
+                        ncols,
+                    });
+                }
+                if k > colptr[c] && rowidx[k - 1] >= rowidx[k] {
+                    return Err(SparseError::InvalidFormat {
+                        what: format!("row indices not strictly increasing in column {c}"),
+                    });
+                }
+                if !values[k].is_finite() {
+                    return Err(SparseError::InvalidValue {
+                        what: format!("non-finite entry at ({}, {c})", rowidx[k]),
+                    });
+                }
+            }
+        }
+        Ok(CscMatrix { nrows, ncols, colptr, rowidx, values })
+    }
+
+    /// An `n` × `n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            colptr: (0..=n).collect(),
+            rowidx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// An `nrows` × `ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column pointer array (`ncols + 1` entries).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// The row-index array (`nnz` entries, sorted within each column).
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// The value array (`nnz` entries).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (the pattern stays fixed).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Row indices and values of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.ncols()`.
+    pub fn col(&self, c: usize) -> (&[usize], &[f64]) {
+        let range = self.colptr[c]..self.colptr[c + 1];
+        (&self.rowidx[range.clone()], &self.values[range])
+    }
+
+    /// Value at `(row, col)`, `0.0` when the entry is not stored.
+    ///
+    /// Runs a binary search within the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        let (rows, vals) = self.col(col);
+        match rows.binary_search(&row) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)` in
+    /// column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.ncols).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals.iter()).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// Dense matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a caller-provided buffer (`y` is
+    /// overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "output length must equal nrows");
+        y.fill(0.0);
+        for c in 0..self.ncols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                y[self.rowidx[k]] += self.values[k] * xc;
+            }
+        }
+    }
+
+    /// Infinity norm of the residual `A x − b`, a convenience for tests and
+    /// solver verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn residual_inf_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(b.len(), self.nrows, "rhs length must equal nrows");
+        let ax = self.matvec(x);
+        ax.iter().zip(b.iter()).map(|(a, bb)| (a - bb).abs()).fold(0.0, f64::max)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> CscMatrix {
+        let mut colptr = vec![0usize; self.nrows + 1];
+        for &r in &self.rowidx {
+            colptr[r + 1] += 1;
+        }
+        for r in 0..self.nrows {
+            colptr[r + 1] += colptr[r];
+        }
+        let mut next = colptr.clone();
+        let mut rowidx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for c in 0..self.ncols {
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                let r = self.rowidx[k];
+                let slot = next[r];
+                next[r] += 1;
+                rowidx[slot] = c;
+                values[slot] = self.values[k];
+            }
+        }
+        // Row indices within each output column are automatically sorted
+        // because we sweep source columns in increasing order.
+        CscMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Converts to compressed sparse row format.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let t = self.transpose();
+        CsrMatrix::from_csc_transpose(t)
+    }
+
+    /// Converts to a dense matrix (intended for small test problems).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
+    }
+
+    /// Returns `true` if the matrix is square and exactly symmetric
+    /// (pattern and values).
+    pub fn is_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.colptr == t.colptr && self.rowidx == t.rowidx && {
+            self.values
+                .iter()
+                .zip(t.values.iter())
+                .all(|(a, b)| a == b)
+        }
+    }
+
+    /// Returns `true` if the matrix is symmetric up to absolute tolerance
+    /// `tol` on the values (pattern must still match).
+    pub fn is_symmetric_within(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.colptr == t.colptr
+            && self.rowidx == t.rowidx
+            && self.values.iter().zip(t.values.iter()).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Extracts the upper triangle (including the diagonal) as a CSC matrix.
+    pub fn upper_triangle(&self) -> CscMatrix {
+        self.filter(|r, c, _| r <= c)
+    }
+
+    /// Extracts the lower triangle (including the diagonal) as a CSC matrix.
+    pub fn lower_triangle(&self) -> CscMatrix {
+        self.filter(|r, c, _| r >= c)
+    }
+
+    /// Keeps only entries for which the predicate returns `true`.
+    pub fn filter(&self, mut keep: impl FnMut(usize, usize, f64) -> bool) -> CscMatrix {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        let mut rowidx = Vec::new();
+        let mut values = Vec::new();
+        for c in 0..self.ncols {
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                let (r, v) = (self.rowidx[k], self.values[k]);
+                if keep(r, c, v) {
+                    rowidx.push(r);
+                    values.push(v);
+                }
+            }
+            colptr[c + 1] = rowidx.len();
+        }
+        CscMatrix { nrows: self.nrows, ncols: self.ncols, colptr, rowidx, values }
+    }
+
+    /// Adds `shift[i]` to each diagonal entry `(i, i)`, inserting the
+    /// diagonal entry when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular matrices and
+    /// [`SparseError::DimensionMismatch`] if `shift.len() != n`.
+    pub fn add_diagonal(&self, shift: &[f64]) -> Result<CscMatrix, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+        }
+        if shift.len() != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                found: shift.len(),
+            });
+        }
+        let mut colptr = vec![0usize; self.ncols + 1];
+        let mut rowidx = Vec::with_capacity(self.nnz() + self.ncols);
+        let mut values = Vec::with_capacity(self.nnz() + self.ncols);
+        for c in 0..self.ncols {
+            let mut placed = false;
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                let r = self.rowidx[k];
+                if !placed && r > c && shift[c] != 0.0 {
+                    rowidx.push(c);
+                    values.push(shift[c]);
+                    placed = true;
+                }
+                let v = if r == c {
+                    placed = true;
+                    self.values[k] + shift[c]
+                } else {
+                    self.values[k]
+                };
+                rowidx.push(r);
+                values.push(v);
+            }
+            if !placed && shift[c] != 0.0 {
+                rowidx.push(c);
+                values.push(shift[c]);
+            }
+            colptr[c + 1] = rowidx.len();
+        }
+        Ok(CscMatrix { nrows: self.nrows, ncols: self.ncols, colptr, rowidx, values })
+    }
+
+    /// The diagonal of the matrix as a dense vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for (i, item) in d.iter_mut().enumerate() {
+            *item = self.get(i, i);
+        }
+        d
+    }
+
+    /// Symmetric permutation `C = P A Pᵀ` returning the **upper triangle**
+    /// of the result, as required by the symbolic Cholesky analysis.
+    ///
+    /// The input must be square and symmetric; only its upper triangle is
+    /// read. `perm` maps new indices to old ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular inputs and
+    /// [`SparseError::DimensionMismatch`] if the permutation size differs
+    /// from `n`.
+    pub fn symmetric_perm_upper(&self, perm: &Permutation) -> Result<CscMatrix, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+        }
+        let n = self.ncols;
+        if perm.len() != n {
+            return Err(SparseError::DimensionMismatch { expected: n, found: perm.len() });
+        }
+        let old_to_new = perm.as_old_to_new();
+        // Count entries per new column.
+        let mut colptr = vec![0usize; n + 1];
+        for c in 0..n {
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                let r = self.rowidx[k];
+                if r > c {
+                    continue; // read upper triangle only (r <= c)
+                }
+                let (nr, nc) = (old_to_new[r], old_to_new[c]);
+                let newcol = nr.max(nc);
+                colptr[newcol + 1] += 1;
+            }
+        }
+        for c in 0..n {
+            colptr[c + 1] += colptr[c];
+        }
+        let nnz = colptr[n];
+        let mut next = colptr.clone();
+        let mut rowidx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        for c in 0..n {
+            for k in self.colptr[c]..self.colptr[c + 1] {
+                let r = self.rowidx[k];
+                if r > c {
+                    continue;
+                }
+                let (nr, nc) = (old_to_new[r], old_to_new[c]);
+                let (newrow, newcol) = (nr.min(nc), nr.max(nc));
+                let slot = next[newcol];
+                next[newcol] += 1;
+                rowidx[slot] = newrow;
+                values[slot] = self.values[k];
+            }
+        }
+        // Sort rows within each column.
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for c in 0..n {
+            let range = colptr[c]..colptr[c + 1];
+            scratch.clear();
+            scratch.extend(rowidx[range.clone()].iter().copied().zip(values[range.clone()].iter().copied()));
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            for (off, &(r, v)) in scratch.iter().enumerate() {
+                rowidx[colptr[c] + off] = r;
+                values[colptr[c] + off] = v;
+            }
+        }
+        Ok(CscMatrix { nrows: n, ncols: n, colptr, rowidx, values })
+    }
+
+    /// Computes `A + s·B` for matrices with identical dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+    pub fn add_scaled(&self, other: &CscMatrix, s: f64) -> Result<CscMatrix, SparseError> {
+        if self.nrows != other.nrows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                found: other.nrows,
+            });
+        }
+        if self.ncols != other.ncols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                found: other.ncols,
+            });
+        }
+        let mut colptr = vec![0usize; self.ncols + 1];
+        let mut rowidx = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        for c in 0..self.ncols {
+            let (ra, va) = self.col(c);
+            let (rb, vb) = other.col(c);
+            let (mut i, mut j) = (0, 0);
+            while i < ra.len() || j < rb.len() {
+                let (r, v) = if j >= rb.len() || (i < ra.len() && ra[i] < rb[j]) {
+                    let out = (ra[i], va[i]);
+                    i += 1;
+                    out
+                } else if i >= ra.len() || rb[j] < ra[i] {
+                    let out = (rb[j], s * vb[j]);
+                    j += 1;
+                    out
+                } else {
+                    let out = (ra[i], va[i] + s * vb[j]);
+                    i += 1;
+                    j += 1;
+                    out
+                };
+                if v != 0.0 {
+                    rowidx.push(r);
+                    values.push(v);
+                }
+            }
+            colptr[c + 1] = rowidx.len();
+        }
+        Ok(CscMatrix { nrows: self.nrows, ncols: self.ncols, colptr, rowidx, values })
+    }
+
+    /// Estimated memory footprint of the stored matrix in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.colptr.len() * std::mem::size_of::<usize>()
+            + self.rowidx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl From<&CooMatrix> for CscMatrix {
+    fn from(coo: &CooMatrix) -> Self {
+        coo.to_csc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CscMatrix {
+        // [ 2 -1  0 ]
+        // [-1  3 -1 ]
+        // [ 0 -1  2 ]
+        let mut coo = CooMatrix::new(3, 3);
+        for (r, c, v) in [
+            (0, 0, 2.0),
+            (1, 1, 3.0),
+            (2, 2, 2.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 2, -1.0),
+            (2, 1, -1.0),
+        ] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn raw_parts_validation() {
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).is_ok());
+        assert!(
+            CscMatrix::from_raw_parts(2, 2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]).is_err(),
+            "unsorted rows must be rejected"
+        );
+        assert!(
+            CscMatrix::from_raw_parts(2, 2, vec![0, 2, 2], vec![0, 0], vec![1.0, 1.0]).is_err(),
+            "duplicate rows must be rejected"
+        );
+        assert!(
+            CscMatrix::from_raw_parts(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err(),
+            "row out of bounds must be rejected"
+        );
+        assert!(
+            CscMatrix::from_raw_parts(2, 2, vec![0, 1, 1], vec![0], vec![f64::NAN]).is_err(),
+            "NaN must be rejected"
+        );
+    }
+
+    #[test]
+    fn get_and_nnz() {
+        let a = small();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = a.matvec(&x);
+        assert_eq!(y, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = small();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let a = small();
+        assert!(a.is_symmetric());
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        assert!(!coo.to_csc().is_symmetric());
+    }
+
+    #[test]
+    fn triangles_partition_entries() {
+        let a = small();
+        let u = a.upper_triangle();
+        let l = a.lower_triangle();
+        // Diagonal is in both.
+        assert_eq!(u.nnz() + l.nnz(), a.nnz() + 3);
+        assert_eq!(u.get(0, 1), -1.0);
+        assert_eq!(u.get(1, 0), 0.0);
+        assert_eq!(l.get(1, 0), -1.0);
+        assert_eq!(l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn add_diagonal_inserts_and_updates() {
+        let a = small();
+        let b = a.add_diagonal(&[0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(b.get(0, 0), 2.5);
+        // Insertion into a matrix missing a diagonal entry:
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 0, -1.0).unwrap();
+        coo.push(0, 1, -1.0).unwrap();
+        let c = coo.to_csc().add_diagonal(&[3.0, 4.0]).unwrap();
+        assert_eq!(c.get(0, 0), 3.0);
+        assert_eq!(c.get(1, 1), 4.0);
+        assert_eq!(c.get(1, 0), -1.0);
+        assert!(c.is_symmetric_within(0.0) || c.is_symmetric());
+    }
+
+    #[test]
+    fn symmetric_perm_preserves_values() {
+        let a = small();
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let c = a.symmetric_perm_upper(&p).unwrap();
+        // c is the upper triangle of P A P^T. Check against dense.
+        let ad = a.to_dense();
+        for newc in 0..3 {
+            for newr in 0..=newc {
+                let (oldr, oldc) = (p.new_to_old(newr), p.new_to_old(newc));
+                assert_eq!(c.get(newr, newc), ad[(oldr, oldc)], "entry ({newr},{newc})");
+            }
+        }
+        // Strictly lower part must be empty.
+        for (r, cc, _) in c.iter() {
+            assert!(r <= cc);
+        }
+    }
+
+    #[test]
+    fn add_scaled_merges_patterns() {
+        let a = small();
+        let i = CscMatrix::identity(3);
+        let b = a.add_scaled(&i, 2.0).unwrap();
+        assert_eq!(b.get(0, 0), 4.0);
+        assert_eq!(b.get(1, 1), 5.0);
+        assert_eq!(b.get(0, 1), -1.0);
+        // Cancellation drops entries.
+        let z = a.add_scaled(&a, -1.0).unwrap();
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = small();
+        assert_eq!(a.diagonal(), vec![2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = small();
+        let d = a.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d[(r, c)], a.get(r, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Compressed sparse row storage, used where row access dominates
+//! (graph adjacency walks, row-oriented matvec).
+
+use crate::csc::CscMatrix;
+
+/// A sparse matrix in compressed sparse row (CSR) form.
+///
+/// Produced from a [`CscMatrix`] via [`CscMatrix::to_csr`]. Row indices
+/// within each row are sorted, mirroring the CSC invariants.
+///
+/// # Example
+///
+/// ```
+/// use tracered_sparse::CooMatrix;
+///
+/// # fn main() -> Result<(), tracered_sparse::SparseError> {
+/// let mut coo = CooMatrix::new(2, 3);
+/// coo.push(0, 2, 5.0)?;
+/// coo.push(1, 0, 1.0)?;
+/// let csr = coo.to_csc().to_csr();
+/// let (cols, vals) = csr.row(0);
+/// assert_eq!(cols, &[2]);
+/// assert_eq!(vals, &[5.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Internal constructor: reinterprets the transpose of a CSC matrix as
+    /// CSR storage of the original.
+    pub(crate) fn from_csc_transpose(t: CscMatrix) -> Self {
+        // `t` is the transpose of the matrix we want in CSR form; the CSC
+        // arrays of Aᵀ are exactly the CSR arrays of A.
+        let nrows = t.ncols();
+        let ncols = t.nrows();
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr: t.colptr().to_vec(),
+            colidx: t.rowidx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row pointer array (`nrows + 1` entries).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// The column-index array.
+    pub fn colidx(&self) -> &[usize] {
+        &self.colidx
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.nrows()`.
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let range = self.rowptr[r]..self.rowptr[r + 1];
+        (&self.colidx[range.clone()], &self.values[range])
+    }
+
+    /// Dense matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Converts back to CSC format.
+    pub fn to_csc(&self) -> CscMatrix {
+        // The CSR arrays of A are the CSC arrays of Aᵀ; transpose to get A.
+        CscMatrix::from_raw_parts(
+            self.ncols,
+            self.nrows,
+            self.rowptr.clone(),
+            self.colidx.clone(),
+            self.values.clone(),
+        )
+        .expect("CSR invariants imply CSC invariants of the transpose")
+        .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::coo::CooMatrix;
+
+    fn sample() -> crate::csc::CscMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(0, 3, 2.0).unwrap();
+        coo.push(1, 0, 3.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo.push(2, 3, 5.0).unwrap();
+        coo.to_csc()
+    }
+
+    #[test]
+    fn csr_rows_match_csc_entries() {
+        let a = sample();
+        let csr = a.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 4);
+        assert_eq!(csr.nnz(), 5);
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[1, 3]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        let (cols, vals) = csr.row(2);
+        assert_eq!(cols, &[2, 3]);
+        assert_eq!(vals, &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_agrees_with_csc() {
+        let a = sample();
+        let csr = a.to_csr();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.matvec(&x), csr.matvec(&x));
+    }
+
+    #[test]
+    fn roundtrip_csc_csr_csc() {
+        let a = sample();
+        assert_eq!(a.to_csr().to_csc(), a);
+    }
+}

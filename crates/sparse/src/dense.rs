@@ -1,0 +1,337 @@
+//! Small dense matrices with a dense Cholesky factorization.
+//!
+//! This module exists as a *test oracle* for the sparse stack: exact
+//! inverses, exact traces and exact condition numbers on problems small
+//! enough to afford O(n³) work. It is not intended for large matrices.
+
+use std::ops::{Index, IndexMut};
+
+use crate::error::SparseError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use tracered_sparse::DenseMatrix;
+///
+/// let mut a = DenseMatrix::zeros(2, 2);
+/// a[(0, 0)] = 4.0;
+/// a[(1, 1)] = 9.0;
+/// let chol = a.cholesky().unwrap();
+/// assert_eq!(chol.solve(&[4.0, 9.0]), vec![1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An `nrows` × `ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// An `n` × `n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if
+    /// `data.len() != nrows * ncols`.
+    pub fn from_row_major(
+        nrows: usize,
+        ncols: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if data.len() != nrows * ncols {
+            return Err(SparseError::DimensionMismatch {
+                expected: nrows * ncols,
+                found: data.len(),
+            });
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        for r in 0..self.nrows {
+            let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
+            y[r] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Matrix–matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, other.nrows, "inner dimensions must agree");
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.ncols, self.nrows);
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Sum of the diagonal entries.
+    pub fn trace(&self) -> f64 {
+        (0..self.nrows.min(self.ncols)).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Dense Cholesky factorization `A = L Lᵀ` of a symmetric positive
+    /// definite matrix. Only the lower triangle of `self` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular inputs and
+    /// [`SparseError::NotPositiveDefinite`] if a pivot is not positive.
+    pub fn cholesky(&self) -> Result<DenseCholesky, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+        }
+        let n = self.nrows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(SparseError::NotPositiveDefinite { column: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(DenseCholesky { l })
+    }
+
+    /// Inverse via Cholesky; the matrix must be symmetric positive definite.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DenseMatrix::cholesky`].
+    pub fn spd_inverse(&self) -> Result<DenseMatrix, SparseError> {
+        let chol = self.cholesky()?;
+        let n = self.nrows;
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let col = chol.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Largest eigenvalue of a symmetric matrix via power iteration, used by
+    /// test oracles. Deterministic start vector; `iters` iterations.
+    pub fn sym_lambda_max(&self, iters: usize) -> f64 {
+        assert_eq!(self.nrows, self.ncols, "matrix must be square");
+        let n = self.nrows;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.001).collect();
+        let mut lambda = 0.0;
+        for _ in 0..iters {
+            let w = self.matvec(&v);
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm == 0.0 {
+                return 0.0;
+            }
+            lambda = v.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>()
+                / v.iter().map(|x| x * x).sum::<f64>();
+            v = w.iter().map(|x| x / norm).collect();
+        }
+        lambda
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.nrows && c < self.ncols, "index out of bounds");
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.nrows && c < self.ncols, "index out of bounds");
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+/// Dense Cholesky factor `L` with triangular solves.
+#[derive(Debug, Clone)]
+pub struct DenseCholesky {
+    l: DenseMatrix,
+}
+
+impl DenseCholesky {
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DenseMatrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the factor dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        let mut x = b.to_vec();
+        // Forward solve L y = b.
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.l[(i, k)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        // Backward solve Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_row_major(
+            3,
+            3,
+            vec![4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let llt = chol.l().matmul(&chol.l().transpose());
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((llt[(r, c)] - a[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_is_exact() {
+        let a = spd3();
+        let chol = a.cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = chol.solve(&b);
+        let ax = a.matvec(&x);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn indefinite_is_rejected() {
+        let mut a = DenseMatrix::identity(2);
+        a[(1, 1)] = -1.0;
+        assert!(matches!(a.cholesky(), Err(SparseError::NotPositiveDefinite { column: 1 })));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = a.spd_inverse().unwrap();
+        let prod = a.matmul(&inv);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((prod[(r, c)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_sums_diagonal() {
+        assert_eq!(spd3().trace(), 12.0);
+    }
+
+    #[test]
+    fn lambda_max_of_diagonal() {
+        let mut a = DenseMatrix::identity(3);
+        a[(0, 0)] = 7.0;
+        let l = a.sym_lambda_max(200);
+        assert!((l - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_row_major_validates_len() {
+        assert!(DenseMatrix::from_row_major(2, 2, vec![1.0]).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type shared by all fallible operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sparse-matrix construction and factorization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        nrows: usize,
+        /// Number of columns of the offending matrix.
+        ncols: usize,
+    },
+    /// A structurally or numerically non-symmetric matrix was passed to an
+    /// operation that requires symmetry.
+    NotSymmetric,
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Column (in the permuted matrix) at which a non-positive pivot
+        /// appeared.
+        column: usize,
+    },
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension that was found.
+        found: usize,
+    },
+    /// An entry index lies outside the matrix.
+    IndexOutOfBounds {
+        /// Row index of the entry.
+        row: usize,
+        /// Column index of the entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// A value that must be finite (and possibly positive) was not.
+    InvalidValue {
+        /// Human-readable description of the offending value.
+        what: String,
+    },
+    /// Malformed input to a parser or a raw-parts constructor.
+    InvalidFormat {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix is not square ({nrows}x{ncols})")
+            }
+            SparseError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            SparseError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite (pivot at column {column})")
+            }
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch (expected {expected}, found {found})")
+            }
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "entry ({row}, {col}) out of bounds for {nrows}x{ncols} matrix")
+            }
+            SparseError::InvalidValue { what } => write!(f, "invalid value: {what}"),
+            SparseError::InvalidFormat { what } => write!(f, "invalid format: {what}"),
+            SparseError::InvalidPermutation => {
+                write!(f, "permutation vector is not a bijection on 0..n")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            SparseError::NotSquare { nrows: 2, ncols: 3 },
+            SparseError::NotSymmetric,
+            SparseError::NotPositiveDefinite { column: 4 },
+            SparseError::DimensionMismatch { expected: 5, found: 6 },
+            SparseError::IndexOutOfBounds { row: 9, col: 9, nrows: 3, ncols: 3 },
+            SparseError::InvalidValue { what: "NaN weight".into() },
+            SparseError::InvalidFormat { what: "bad header".into() },
+            SparseError::InvalidPermutation,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

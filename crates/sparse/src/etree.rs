@@ -1,0 +1,254 @@
+//! Elimination trees and row-subtree traversal (the symbolic backbone of
+//! sparse Cholesky), in the style of CSparse.
+
+use crate::csc::CscMatrix;
+
+/// Sentinel meaning "no parent" (tree root).
+pub const NO_PARENT: usize = usize::MAX;
+
+/// Computes the elimination tree of a symmetric matrix given its **upper
+/// triangle** in CSC form.
+///
+/// Returns the parent array: `parent[i]` is the parent of node `i`, or
+/// [`NO_PARENT`] for roots. Uses Liu's algorithm with path compression.
+///
+/// # Panics
+///
+/// Panics if the matrix is rectangular.
+pub fn elimination_tree(upper: &CscMatrix) -> Vec<usize> {
+    assert_eq!(upper.nrows(), upper.ncols(), "matrix must be square");
+    let n = upper.ncols();
+    let mut parent = vec![NO_PARENT; n];
+    let mut ancestor = vec![NO_PARENT; n];
+    for k in 0..n {
+        let (rows, _) = upper.col(k);
+        for &entry_row in rows {
+            let mut i = entry_row;
+            // Traverse from i up to the root of its current subtree, path
+            // compressing the ancestor pointers to k.
+            while i != NO_PARENT && i < k {
+                let inext = ancestor[i];
+                ancestor[i] = k;
+                if inext == NO_PARENT {
+                    parent[i] = k;
+                }
+                i = inext;
+            }
+        }
+    }
+    parent
+}
+
+/// Depth-first postordering of a forest given by a parent array.
+///
+/// Returns a permutation vector `post` such that `post[k]` is the node
+/// visited `k`-th in postorder. Children of each node are visited in
+/// increasing node order.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Build child lists (head/next linked lists, children pushed in reverse
+    // so they pop in increasing order).
+    let mut head = vec![NO_PARENT; n];
+    let mut next = vec![NO_PARENT; n];
+    for i in (0..n).rev() {
+        let p = parent[i];
+        if p != NO_PARENT {
+            next[i] = head[p];
+            head[p] = i;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if parent[root] != NO_PARENT {
+            continue;
+        }
+        stack.push(root);
+        while let Some(&node) = stack.last() {
+            let child = head[node];
+            if child == NO_PARENT {
+                // All children done; emit node.
+                stack.pop();
+                post.push(node);
+            } else {
+                head[node] = next[child];
+                stack.push(child);
+            }
+        }
+    }
+    post
+}
+
+/// Computes the pattern of row `k` of the Cholesky factor `L` (the "ereach"
+/// of node `k`): the set of columns `j < k` with `L(k, j) ≠ 0`.
+///
+/// `upper` is the upper triangle of the (permuted) matrix, `parent` its
+/// elimination tree. The pattern is written into `stack[top..n]` in
+/// topological order (suitable for the up-looking numeric step) and `top`
+/// is returned. `wmark` is a scratch array of length `n` whose entries must
+/// never equal `k`'s marker before the call; marking uses the value `k`
+/// itself, so a fresh array of `usize::MAX` works for all `k`.
+pub fn ereach(
+    upper: &CscMatrix,
+    k: usize,
+    parent: &[usize],
+    stack: &mut [usize],
+    wmark: &mut [usize],
+) -> usize {
+    let n = upper.ncols();
+    let mut top = n;
+    wmark[k] = k; // mark k itself
+    let (rows, _) = upper.col(k);
+    for &row in rows {
+        if row > k {
+            continue; // use upper triangle only
+        }
+        let mut i = row;
+        let mut len = 0;
+        // Walk up the etree until hitting a marked node.
+        while wmark[i] != k {
+            stack[len] = i;
+            len += 1;
+            wmark[i] = k;
+            i = parent[i];
+            debug_assert!(i != NO_PARENT, "etree path from a column entry must reach k");
+        }
+        // Push the path (deepest last) onto the output section.
+        while len > 0 {
+            len -= 1;
+            top -= 1;
+            stack[top] = stack[len];
+        }
+    }
+    top
+}
+
+/// Number of nonzeros per column of `L` (including the diagonal), computed
+/// by sweeping [`ereach`] over all rows. `O(nnz(L))` time.
+pub fn column_counts(upper: &CscMatrix, parent: &[usize]) -> Vec<usize> {
+    let n = upper.ncols();
+    let mut counts = vec![1usize; n]; // the diagonal
+    let mut stack = vec![0usize; n];
+    let mut wmark = vec![usize::MAX; n];
+    for k in 0..n {
+        let top = ereach(upper, k, parent, &mut stack, &mut wmark);
+        for &j in &stack[top..n] {
+            counts[j] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// Arrow matrix: dense last row/column, diagonal otherwise.
+    fn arrow(n: usize) -> CscMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+        }
+        for i in 0..n - 1 {
+            coo.push_symmetric(i, n - 1, -1.0).unwrap();
+        }
+        coo.to_csc()
+    }
+
+    /// Tridiagonal matrix.
+    fn tridiag(n: usize) -> CscMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        for i in 0..n - 1 {
+            coo.push_symmetric(i, i + 1, -1.0).unwrap();
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_a_path() {
+        let a = tridiag(6).upper_triangle();
+        let parent = elimination_tree(&a);
+        for i in 0..5 {
+            assert_eq!(parent[i], i + 1);
+        }
+        assert_eq!(parent[5], NO_PARENT);
+    }
+
+    #[test]
+    fn etree_of_arrow_points_to_last() {
+        let a = arrow(5).upper_triangle();
+        let parent = elimination_tree(&a);
+        for i in 0..4 {
+            assert_eq!(parent[i], 4, "node {i}");
+        }
+        assert_eq!(parent[4], NO_PARENT);
+    }
+
+    #[test]
+    fn etree_of_diagonal_is_forest_of_roots() {
+        let a = CscMatrix::identity(4);
+        let parent = elimination_tree(&a.upper_triangle());
+        assert!(parent.iter().all(|&p| p == NO_PARENT));
+    }
+
+    #[test]
+    fn postorder_is_permutation_and_respects_children() {
+        let a = tridiag(7).upper_triangle();
+        let parent = elimination_tree(&a);
+        let post = postorder(&parent);
+        let mut seen = vec![false; 7];
+        for &v in &post {
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Every node must appear after all of its children.
+        let mut position = vec![0usize; 7];
+        for (idx, &v) in post.iter().enumerate() {
+            position[v] = idx;
+        }
+        for i in 0..7 {
+            if parent[i] != NO_PARENT {
+                assert!(position[i] < position[parent[i]]);
+            }
+        }
+    }
+
+    #[test]
+    fn ereach_matches_factor_pattern_for_tridiagonal() {
+        let a = tridiag(5).upper_triangle();
+        let parent = elimination_tree(&a);
+        let mut stack = vec![0usize; 5];
+        let mut wmark = vec![usize::MAX; 5];
+        // Row k of L for a tridiagonal matrix touches only column k-1.
+        for k in 1..5 {
+            let top = ereach(&a, k, &parent, &mut stack, &mut wmark);
+            assert_eq!(&stack[top..5], &[k - 1], "row {k}");
+        }
+    }
+
+    #[test]
+    fn column_counts_of_arrow() {
+        // L of the arrow matrix (dense last row) has 2 entries per column
+        // (diagonal + last row), except the last column with 1.
+        let a = arrow(6).upper_triangle();
+        let parent = elimination_tree(&a);
+        let counts = column_counts(&a, &parent);
+        for (i, &cnt) in counts.iter().enumerate().take(5) {
+            assert_eq!(cnt, 2, "column {i}");
+        }
+        assert_eq!(counts[5], 1);
+    }
+
+    #[test]
+    fn column_counts_total_equals_dense_fill_for_tridiag() {
+        let a = tridiag(8).upper_triangle();
+        let parent = elimination_tree(&a);
+        let counts = column_counts(&a, &parent);
+        // Tridiagonal L: bidiagonal, 2 per column except last.
+        assert_eq!(counts.iter().sum::<usize>(), 2 * 8 - 1);
+    }
+}

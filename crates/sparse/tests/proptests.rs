@@ -1,0 +1,198 @@
+//! Property-based tests for the sparse linear-algebra substrate.
+
+use proptest::prelude::*;
+use tracered_sparse::ichol::IncompleteCholesky;
+use tracered_sparse::order::{nested_dissection, Ordering};
+use tracered_sparse::sparsevec::SparseVec;
+use tracered_sparse::{ApproxInverse, CholeskyFactor, CooMatrix, CscMatrix, Permutation, SpaiOptions};
+
+/// Strategy: a connected weighted graph on `n` nodes given as a random
+/// spanning tree plus extra random edges, returned as (n, edges).
+fn arb_connected_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (3usize..14).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(0.05f64..5.0, n - 1);
+        let extras = proptest::collection::vec(
+            (0..n * n, 0.05f64..5.0),
+            0..(2 * n),
+        );
+        (tree, extras).prop_map(move |(tree_w, extras)| {
+            let mut edges = Vec::new();
+            for (i, w) in tree_w.into_iter().enumerate() {
+                // Chain tree keeps things connected.
+                edges.push((i, i + 1, w));
+            }
+            for (code, w) in extras {
+                let (u, v) = (code / n, code % n);
+                if u != v {
+                    edges.push((u.min(v), u.max(v), w));
+                }
+            }
+            (n, edges)
+        })
+    })
+}
+
+/// Builds a shifted Laplacian CSC matrix from an edge list.
+fn laplacian(n: usize, edges: &[(usize, usize, f64)], shift: f64) -> CscMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(u, v, w) in edges {
+        coo.push_symmetric(u, v, -w).unwrap();
+        coo.push(u, u, w).unwrap();
+        coo.push(v, v, w).unwrap();
+    }
+    for i in 0..n {
+        coo.push(i, i, shift).unwrap();
+    }
+    coo.to_csc()
+}
+
+proptest! {
+    #[test]
+    fn cholesky_solve_has_small_residual((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.1);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        for ord in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree] {
+            let f = CholeskyFactor::factorize(&a, ord).unwrap();
+            let x = f.solve(&b);
+            prop_assert!(a.residual_inf_norm(&x, &b) < 1e-8, "ordering {ord:?}");
+        }
+    }
+
+    #[test]
+    fn factor_orderings_agree_on_solution((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.05);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x1 = CholeskyFactor::factorize(&a, Ordering::Natural).unwrap().solve(&b);
+        let x2 = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap().solve(&b);
+        for (a1, a2) in x1.iter().zip(x2.iter()) {
+            prop_assert!((a1 - a2).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.2);
+        prop_assert_eq!(a.to_csr().to_csc(), a.clone());
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_csc_equals_csr((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.2);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let y1 = a.matvec(&x);
+        let y2 = a.to_csr().matvec(&x);
+        for (a1, a2) in y1.iter().zip(y2.iter()) {
+            prop_assert!((a1 - a2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spai_zero_threshold_is_exact_inverse((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.3);
+        let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        let z = ApproxInverse::build(f.l(), SpaiOptions::with_threshold(0.0)).unwrap();
+        let prod = f.l().to_dense().matmul(&z.to_csc().to_dense());
+        for r in 0..n {
+            for c in 0..n {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((prod[(r, c)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn spai_columns_nonnegative((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.2);
+        let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        let z = ApproxInverse::build(f.l(), SpaiOptions::default()).unwrap();
+        for j in 0..n {
+            for (i, v) in z.column(j).iter() {
+                prop_assert!(i >= j);
+                prop_assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_apply_roundtrip(perm in proptest::collection::vec(0usize..1000, 1..30)) {
+        // Turn an arbitrary vector into a permutation by ranking.
+        let n = perm.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (perm[i], i));
+        let p = Permutation::from_vec(idx).unwrap();
+        let v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(p.apply_inverse(&p.apply(&v)), v);
+    }
+
+    #[test]
+    fn sparsevec_dot_matches_dense(
+        a in proptest::collection::vec((0usize..30, -5.0f64..5.0), 0..20),
+        b in proptest::collection::vec((0usize..30, -5.0f64..5.0), 0..20),
+    ) {
+        let sa = SparseVec::from_entries(30, a);
+        let sb = SparseVec::from_entries(30, b);
+        let dense_dot: f64 = sa
+            .to_dense()
+            .iter()
+            .zip(sb.to_dense().iter())
+            .map(|(x, y)| x * y)
+            .sum();
+        prop_assert!((sa.dot(&sb) - dense_dot).abs() < 1e-9);
+        prop_assert!((sa.dot_dense(&sb.to_dense()) - dense_dot).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ic0_exists_and_matches_pattern_for_sdd((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.1);
+        let ic = IncompleteCholesky::factorize(&a).unwrap();
+        // Pattern preserved.
+        let lower = a.lower_triangle();
+        prop_assert_eq!(ic.l().colptr(), lower.colptr());
+        prop_assert_eq!(ic.l().rowidx(), lower.rowidx());
+        // L·Lᵀ equals A on A's pattern (the IC(0) defining property).
+        let llt = ic.l().to_dense().matmul(&ic.l().to_dense().transpose());
+        for (r, c, v) in a.iter() {
+            prop_assert!((llt[(r, c)] - v).abs() < 1e-8 * (1.0 + v.abs()),
+                "pattern entry ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn nested_dissection_factorizes_correctly((n, edges) in arb_connected_graph()) {
+        let a = laplacian(n, &edges, 0.2);
+        let p = nested_dissection(&a);
+        prop_assert_eq!(p.len(), n);
+        let f = CholeskyFactor::factorize_with_perm(&a, p).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let x = f.solve(&b);
+        prop_assert!(a.residual_inf_norm(&x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn ordering_selection_picks_minimum_fill((n, edges) in arb_connected_graph()) {
+        use tracered_sparse::order::select_ordering;
+        let a = laplacian(n, &edges, 0.2);
+        let candidates = [Ordering::Natural, Ordering::MinDegree, Ordering::NestedDissection];
+        let (_, _, best_fill) = select_ordering(&a, &candidates).unwrap();
+        for ord in candidates {
+            let perm = ord.compute(&a).unwrap();
+            let f = CholeskyFactor::factorize_with_perm(&a, perm).unwrap();
+            prop_assert!(best_fill <= f.nnz(), "selection missed a better ordering");
+        }
+    }
+
+    #[test]
+    fn add_scaled_matches_dense((n, edges) in arb_connected_graph(), s in -2.0f64..2.0) {
+        let a = laplacian(n, &edges, 0.2);
+        let i = CscMatrix::identity(n);
+        let sum = a.add_scaled(&i, s).unwrap();
+        let ad = a.to_dense();
+        for r in 0..n {
+            for c in 0..n {
+                let expect = ad[(r, c)] + if r == c { s } else { 0.0 };
+                prop_assert!((sum.get(r, c) - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! File-based pipeline: write a graph's Laplacian as Matrix Market, read
+//! it back (the path real SuiteSparse matrices would take), and run the
+//! full sparsification + solve pipeline on the result.
+
+use tracered_core::{sparsify, SparsifyConfig};
+use tracered_graph::gen::{tri_mesh, WeightProfile};
+use tracered_graph::laplacian::ShiftPolicy;
+use tracered_graph::mmio::{read_graph, write_laplacian};
+use tracered_solver::pcg::{pcg, PcgOptions};
+use tracered_solver::precond::CholPreconditioner;
+
+#[test]
+fn mtx_roundtrip_then_sparsify_and_solve() {
+    let original = tri_mesh(15, 15, WeightProfile::LogUniform { lo: 0.3, hi: 3.0 }, 19);
+    // Physical grounding slack on a few nodes, as circuit matrices have.
+    let slack: Vec<f64> =
+        (0..original.num_nodes()).map(|i| if i % 16 == 0 { 0.5 } else { 0.0 }).collect();
+    let mut buf = Vec::new();
+    write_laplacian(&mut buf, &original, &slack).unwrap();
+
+    let mm = read_graph(buf.as_slice()).unwrap();
+    assert_eq!(mm.graph.num_nodes(), original.num_nodes());
+    assert_eq!(mm.graph.num_edges(), original.num_edges());
+
+    // Use the recovered diagonal slack as the physical grounding, exactly
+    // as the harness would for a real SuiteSparse SDD matrix. Nodes
+    // without slack still need the algorithmic shift, so blend both.
+    let n = mm.graph.num_nodes();
+    let base = 1e-3 * 2.0 * mm.graph.total_weight() / n as f64;
+    let shifts: Vec<f64> = mm.diag_slack.iter().map(|&s| s + base).collect();
+    let sp = sparsify(
+        &mm.graph,
+        &SparsifyConfig::default().shift(ShiftPolicy::PerNode(shifts)),
+    )
+    .unwrap();
+    let lg = sp.graph_laplacian(&mm.graph);
+    let pre = CholPreconditioner::from_matrix(&sp.laplacian(&mm.graph)).unwrap();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let sol = pcg(&lg, &b, &pre, &PcgOptions::with_tolerance(1e-6));
+    assert!(sol.converged);
+    assert!(lg.residual_inf_norm(&sol.x, &b) < 1e-3);
+}
+
+#[test]
+fn file_based_roundtrip_through_disk() {
+    let g = tri_mesh(8, 8, WeightProfile::Unit, 5);
+    let dir = std::env::temp_dir().join("tracered_mmio_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.mtx");
+    {
+        let f = std::fs::File::create(&path).unwrap();
+        write_laplacian(f, &g, &vec![0.0; g.num_nodes()]).unwrap();
+    }
+    let mm = tracered_graph::mmio::read_graph_path(&path).unwrap();
+    assert_eq!(mm.graph.num_edges(), g.num_edges());
+    assert!(mm.diag_slack.iter().all(|&s| s.abs() < 1e-9));
+    std::fs::remove_file(&path).ok();
+}

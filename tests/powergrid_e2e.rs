@@ -1,0 +1,127 @@
+//! End-to-end power-grid test mirroring the paper's Table 2 / Fig. 1
+//! methodology at test scale: direct fixed-step vs sparsifier-PCG
+//! variable-step transient simulation, with accuracy, step-count and
+//! memory assertions.
+
+use tracered_core::{Method, SparsifyConfig};
+use tracered_graph::laplacian::ShiftPolicy;
+use tracered_powergrid::synth::{synthesize, SynthConfig};
+use tracered_powergrid::transient::{probe_pair, simulate_direct, simulate_pcg, TransientConfig};
+use tracered_powergrid::PowerGrid;
+use tracered_solver::precond::{CholPreconditioner, Preconditioner};
+
+fn grid() -> PowerGrid {
+    synthesize(&SynthConfig { mesh: 16, source_fraction: 0.15, seed: 77, ..Default::default() })
+}
+
+fn sparsifier_preconditioner(pg: &PowerGrid, method: Method) -> CholPreconditioner {
+    let cfg =
+        SparsifyConfig::new(method).shift(ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
+    let sp = tracered_core::sparsify(pg.graph(), &cfg).unwrap();
+    CholPreconditioner::from_matrix(&sp.laplacian(pg.graph())).unwrap()
+}
+
+#[test]
+fn direct_and_sparsifier_pcg_agree_within_16mv() {
+    let pg = grid();
+    let (near, far) = probe_pair(&pg);
+    let probes = vec![near, far];
+    let direct = simulate_direct(
+        &pg,
+        &TransientConfig { t_end: 2e-9, fixed_step: Some(1e-11), ..Default::default() },
+        &probes,
+    )
+    .unwrap();
+    let pre = sparsifier_preconditioner(&pg, Method::TraceReduction);
+    let iter = simulate_pcg(
+        &pg,
+        &TransientConfig { t_end: 2e-9, ..Default::default() },
+        &pre,
+        &probes,
+    )
+    .unwrap();
+    for idx in 0..probes.len() {
+        let d = direct.max_probe_difference(&iter, idx, 400);
+        assert!(d < 0.016, "probe {idx}: deviation {d} V exceeds the paper's 16 mV");
+    }
+}
+
+#[test]
+fn variable_stepping_takes_far_fewer_steps_than_breakpoint_limited_direct() {
+    let pg = grid();
+    let (near, _) = probe_pair(&pg);
+    let direct = simulate_direct(
+        &pg,
+        &TransientConfig { t_end: 2e-9, fixed_step: Some(1e-11), ..Default::default() },
+        &[near],
+    )
+    .unwrap();
+    let pre = sparsifier_preconditioner(&pg, Method::TraceReduction);
+    let iter = simulate_pcg(
+        &pg,
+        &TransientConfig { t_end: 2e-9, ..Default::default() },
+        &pre,
+        &[near],
+    )
+    .unwrap();
+    assert!(
+        iter.stats.steps * 3 < direct.stats.steps,
+        "variable steps {} should be far fewer than fixed steps {}",
+        iter.stats.steps,
+        direct.stats.steps
+    );
+}
+
+#[test]
+fn sparsifier_memory_is_smaller_than_direct_factor() {
+    // The paper's ~4× memory advantage for the iterative solver.
+    let pg = grid();
+    let direct = simulate_direct(
+        &pg,
+        &TransientConfig { t_end: 5e-10, fixed_step: Some(1e-11), ..Default::default() },
+        &[0],
+    )
+    .unwrap();
+    let pre = sparsifier_preconditioner(&pg, Method::TraceReduction);
+    assert!(
+        pre.memory_bytes() < direct.stats.memory_bytes,
+        "sparsifier factor {} must be below direct factor {}",
+        pre.memory_bytes(),
+        direct.stats.memory_bytes
+    );
+}
+
+#[test]
+fn proposed_preconditioner_needs_no_more_iterations_than_grass() {
+    let pg = grid();
+    let (near, _) = probe_pair(&pg);
+    let cfg = TransientConfig { t_end: 2e-9, ..Default::default() };
+    let grass = simulate_pcg(&pg, &cfg, &sparsifier_preconditioner(&pg, Method::Grass), &[near])
+        .unwrap();
+    let proposed = simulate_pcg(
+        &pg,
+        &cfg,
+        &sparsifier_preconditioner(&pg, Method::TraceReduction),
+        &[near],
+    )
+    .unwrap();
+    // Shape check with small-scale slack.
+    assert!(
+        proposed.stats.avg_pcg_iterations <= grass.stats.avg_pcg_iterations * 1.3 + 2.0,
+        "proposed N_e {} vs GRASS N_e {}",
+        proposed.stats.avg_pcg_iterations,
+        grass.stats.avg_pcg_iterations
+    );
+}
+
+#[test]
+fn dc_operating_point_has_droop_below_vdd() {
+    let pg = grid();
+    let v = tracered_powergrid::transient::dc_operating_point(&pg).unwrap();
+    let vdd = pg.vdd();
+    assert!(v.iter().all(|&x| x > 0.0 && x <= vdd + 1e-9));
+    // Some node must droop (sources draw current at t = 0+ on average,
+    // but DC uses t = 0 draw; pads keep everything near VDD).
+    let vmin = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(vmin > 0.9 * vdd, "DC droop {vmin} too deep for a padded grid");
+}
