@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use tracered_core::criticality::{subgraph_phase_scores, tree_phase_scores};
+use tracered_core::criticality::{
+    subgraph_phase_scores, tree_phase_scores, tree_phase_scores_threads,
+};
 use tracered_core::metrics::relative_condition_number;
 use tracered_core::{sparsify, Method, SparsifyConfig};
 use tracered_graph::gen::{tri_mesh, WeightProfile};
@@ -78,16 +80,7 @@ fn bench_scoring(c: &mut Criterion) {
     let zinv = ApproxInverse::build(factor.l(), SpaiOptions::with_threshold(0.1)).unwrap();
     let subgraph = f.g.edge_subgraph(&sub);
     c.bench_function("subgraph_phase_scores_beta5", |b| {
-        b.iter(|| {
-            subgraph_phase_scores(
-                black_box(&f.g),
-                &subgraph,
-                &factor,
-                &zinv,
-                &candidates,
-                5,
-            )
-        })
+        b.iter(|| subgraph_phase_scores(black_box(&f.g), &subgraph, &factor, &zinv, &candidates, 5))
     });
 }
 
@@ -126,5 +119,46 @@ fn bench_pcg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cholesky, bench_spai, bench_scoring, bench_sparsify, bench_pcg);
+fn bench_parallel_scoring(c: &mut Criterion) {
+    let f = fixture();
+    let pairs: Vec<(usize, usize)> =
+        f.off_tree.iter().map(|&id| (f.g.edge(id).u, f.g.edge(id).v)).collect();
+    let rs = tree_resistances(&f.tree, &pairs);
+    let mut group = c.benchmark_group("tree_phase_scores_threads");
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("{threads}t"), |b| {
+            b.iter(|| {
+                tree_phase_scores_threads(black_box(&f.g), &f.tree, &f.off_tree, &rs, 5, threads)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_spmv(c: &mut Criterion) {
+    let f = fixture();
+    let lg = laplacian_with_shifts(&f.g, &f.shifts);
+    let n = f.g.num_nodes();
+    let x: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let mut y = vec![0.0; n];
+    let mut group = c.benchmark_group("sym_matvec");
+    group.bench_function("serial_scatter", |b| b.iter(|| lg.matvec_into(black_box(&x), &mut y)));
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("gather_{threads}t"), |b| {
+            b.iter(|| lg.sym_matvec_into_threads(black_box(&x), &mut y, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_spai,
+    bench_scoring,
+    bench_parallel_scoring,
+    bench_parallel_spmv,
+    bench_sparsify,
+    bench_pcg
+);
 criterion_main!(benches);

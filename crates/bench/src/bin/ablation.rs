@@ -46,8 +46,7 @@ fn main() {
 
     println!("\n## δ sweep (SPAI pruning threshold; paper default 0.1)");
     for delta in [0.0, 0.02, 0.05, 0.1, 0.2, 0.4] {
-        let (k, ts) =
-            eval(&g, &SparsifyConfig::new(Method::TraceReduction).spai_threshold(delta));
+        let (k, ts) = eval(&g, &SparsifyConfig::new(Method::TraceReduction).spai_threshold(delta));
         println!("delta {delta:>5.2}: kappa {k:>8.2}, T_s {ts:>7.3}s");
     }
 
@@ -67,7 +66,9 @@ fn main() {
     }
 
     println!("\n## spanning tree flavour (stretch = Σ w·R_T over all edges)");
-    for (name, kind) in [("MEWST", TreeKind::MaxEffectiveWeight), ("max-weight", TreeKind::MaxWeight)] {
+    for (name, kind) in
+        [("MEWST", TreeKind::MaxEffectiveWeight), ("max-weight", TreeKind::MaxWeight)]
+    {
         let st = tracered_graph::mst::spanning_tree(&g, kind).expect("mesh is connected");
         let tree = tracered_graph::RootedTree::build(&g, &st.tree_edges, 0).expect("tree");
         let stretch = tracered_graph::lca::total_stretch(&g, &tree);
@@ -132,13 +133,12 @@ fn transient_solver_ablation(scale: f64) {
         varied.stats.steps,
         varied.stats.factorizations
     );
-    let cfg = SparsifyConfig::new(Method::TraceReduction).shift(
-        tracered_graph::laplacian::ShiftPolicy::PerNode(pg.pad_conductance().to_vec()),
-    );
+    let cfg = SparsifyConfig::new(Method::TraceReduction)
+        .shift(tracered_graph::laplacian::ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
     let sp = tracered_core::sparsify(pg.graph(), &cfg).expect("PG mesh is connected");
     let pre = CholPreconditioner::from_matrix(&sp.laplacian(pg.graph())).expect("SPD");
-    let pcg_run = simulate_pcg(&pg, &TransientConfig::default(), &pre, &probes)
-        .expect("grid is grounded");
+    let pcg_run =
+        simulate_pcg(&pg, &TransientConfig::default(), &pre, &probes).expect("grid is grounded");
     println!(
         "sparsifier PCG    : {:>7.3}s ({} steps, 0 factorizations, avg {:.1} its/step)",
         pcg_run.stats.solve_time.as_secs_f64(),

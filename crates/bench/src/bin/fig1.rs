@@ -32,8 +32,8 @@ fn main() {
         .shift(ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
     let sp = tracered_core::sparsify(pg.graph(), &cfg).expect("PG mesh is connected");
     let pre = CholPreconditioner::from_matrix(&sp.laplacian(pg.graph())).expect("SPD");
-    let iter = simulate_pcg(&pg, &TransientConfig::default(), &pre, &probes)
-        .expect("grid is grounded");
+    let iter =
+        simulate_pcg(&pg, &TransientConfig::default(), &pre, &probes).expect("grid is grounded");
 
     let samples = 500;
     let t_end = *direct.times.last().unwrap();

@@ -27,7 +27,10 @@ fn main() {
     };
     let fractions = [0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20];
     println!("# Figure 2: sparsity vs transient runtime (mesh {mesh}, |V| = {})", pg.num_nodes());
-    println!("{:>9} {:>12} {:>12} {:>8} {:>8}", "fraction", "GRASS (s)", "Proposed (s)", "GR Ne", "TR Ne");
+    println!(
+        "{:>9} {:>12} {:>12} {:>8} {:>8}",
+        "fraction", "GRASS (s)", "Proposed (s)", "GR Ne", "TR Ne"
+    );
     let mut csv = String::from("fraction,grass_seconds,proposed_seconds,grass_ne,proposed_ne\n");
     for &f in &fractions {
         let mut row = (0.0, 0.0, 0.0, 0.0);
@@ -36,8 +39,7 @@ fn main() {
                 .edge_fraction(f)
                 .shift(ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
             let sp = tracered_core::sparsify(pg.graph(), &cfg).expect("PG mesh is connected");
-            let pre =
-                CholPreconditioner::from_matrix(&sp.laplacian(pg.graph())).expect("SPD");
+            let pre = CholPreconditioner::from_matrix(&sp.laplacian(pg.graph())).expect("SPD");
             let out = simulate_pcg(&pg, &TransientConfig::default(), &pre, &probes)
                 .expect("grid is grounded");
             let secs = out.stats.solve_time.as_secs_f64();

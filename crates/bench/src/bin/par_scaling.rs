@@ -1,0 +1,225 @@
+//! Thread-scaling benchmark for the parallel criticality-scoring engine.
+//!
+//! Builds a large 2-D grid (≥200k edges at the default scale), then
+//! measures the sparsification hot paths at 1/2/4/8 worker threads:
+//!
+//! - `tree_resistances` — batch LCA over all off-tree candidates;
+//! - `tree_phase_scores` — β-layer trace-reduction scoring vs the tree;
+//! - `subgraph_phase_scores` — SPAI-based scoring vs a denser subgraph
+//!   (`--full` only: it needs a full-size Cholesky factorization);
+//! - `sym_matvec` — the parallel SpMV behind PCG and Hutchinson;
+//! - `pcg` — a tree-preconditioned solve, recording iteration counts.
+//!
+//! Results print as a table and are written to `BENCH_pr1.json` (override
+//! with `--out <path>`) so later PRs can diff speedups and regressions.
+//! Scores are bit-identical across thread counts (verified here too);
+//! only wall-clock time changes.
+//!
+//! Usage: `cargo run --release -p tracered-bench --bin par_scaling --
+//! [--scale 1.0] [--threads 1,2,4,8] [--full] [--out BENCH_pr1.json]`
+
+use std::time::Instant;
+
+use tracered_bench::{write_bench_json, BenchRecord};
+use tracered_core::criticality::{subgraph_phase_scores_threads, tree_phase_scores_threads};
+use tracered_graph::gen::{grid2d, WeightProfile};
+use tracered_graph::laplacian::{laplacian_with_shifts, subgraph_laplacian};
+use tracered_graph::lca::tree_resistances_threads;
+use tracered_graph::mst::{spanning_tree, TreeKind};
+use tracered_graph::RootedTree;
+use tracered_solver::pcg::{pcg, PcgOptions};
+use tracered_solver::precond::CholPreconditioner;
+use tracered_sparse::order::Ordering;
+use tracered_sparse::{ApproxInverse, CholeskyFactor, SpaiOptions};
+
+const BETA: usize = 5;
+
+struct Args {
+    scale: f64,
+    threads: Vec<usize>,
+    full: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1.0,
+        threads: vec![1, 2, 4, 8],
+        full: false,
+        out: "BENCH_pr1.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale requires a positive number");
+            }
+            "--threads" => {
+                let spec = it.next().expect("--threads requires a comma-separated list");
+                args.threads = spec
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("thread counts must be positive integers"))
+                    .collect();
+            }
+            "--full" => args.full = true,
+            "--out" => args.out = it.next().expect("--out requires a path"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    assert!(args.scale > 0.0, "--scale must be positive");
+    assert!(!args.threads.is_empty() && args.threads.iter().all(|&t| t > 0));
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    // 335×335 at scale 1.0: 112,225 nodes, 223,780 edges.
+    let dim = ((335.0 * args.scale.sqrt()).round() as usize).max(8);
+    let g = grid2d(dim, dim, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 42);
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    println!("grid {dim}x{dim}: {n} nodes, {m} edges");
+
+    let t_tree = Instant::now();
+    let st = spanning_tree(&g, TreeKind::MaxEffectiveWeight).expect("grid is connected");
+    let tree = RootedTree::build(&g, &st.tree_edges, 0).expect("tree edges span the grid");
+    let tree_time = t_tree.elapsed();
+    let candidates = &st.off_tree_edges;
+    let pairs: Vec<(usize, usize)> =
+        candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
+    println!("tree: {:.3}s, {} off-tree candidates", tree_time.as_secs_f64(), candidates.len());
+
+    let shift = 1e-3 * 2.0 * g.total_weight() / n as f64;
+    let shifts = vec![shift; n];
+    let lg = laplacian_with_shifts(&g, &shifts);
+
+    // Tree-preconditioner factorization shared by the PCG rows.
+    let ls = subgraph_laplacian(&g, &st.tree_edges, &shifts);
+    let pre = CholPreconditioner::from_matrix(&ls).expect("tree Laplacian is SPD");
+    let b: Vec<f64> = tracered_bench::random_rhs(n, 77);
+
+    // Optional subgraph-phase fixture (full-size factorization + SPAI).
+    let sub_fixture = if args.full {
+        let mut sub_edges = st.tree_edges.clone();
+        sub_edges.extend(candidates.iter().take(n / 20).copied());
+        let sub_cands: Vec<usize> = candidates.iter().skip(n / 20).copied().collect();
+        let lsub = subgraph_laplacian(&g, &sub_edges, &shifts);
+        let t0 = Instant::now();
+        let factor =
+            CholeskyFactor::factorize(&lsub, Ordering::MinDegree).expect("subgraph is SPD");
+        let zinv = ApproxInverse::build(factor.l(), SpaiOptions::with_threshold(0.1))
+            .expect("factor is valid");
+        println!("subgraph fixture: factor+SPAI {:.3}s", t0.elapsed().as_secs_f64());
+        Some((g.edge_subgraph(&sub_edges), factor, zinv, sub_cands))
+    } else {
+        None
+    };
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let base = |bench: &str, threads: usize| {
+        BenchRecord::new()
+            .str("bench", bench)
+            .str("case", "grid2d-log")
+            .str("method", "TraceReduction")
+            .int("nodes", n as i64)
+            .int("edges", m as i64)
+            .int("candidates", candidates.len() as i64)
+            .int("beta", BETA as i64)
+            .int("threads", threads as i64)
+            .secs_field("tree_time", tree_time)
+    };
+
+    let mut reference_scores: Option<Vec<f64>> = None;
+    let mut serial_times: std::collections::HashMap<&'static str, f64> =
+        std::collections::HashMap::new();
+    for &t in &args.threads {
+        // Batch LCA resistances.
+        let t0 = Instant::now();
+        let rs = tree_resistances_threads(&tree, &pairs, t);
+        let lca_s = t0.elapsed().as_secs_f64();
+
+        // Tree-phase scoring (the dominant kernel of iteration 1).
+        let t0 = Instant::now();
+        let scores = tree_phase_scores_threads(&g, &tree, candidates, &rs, BETA, t);
+        let score_s = t0.elapsed().as_secs_f64();
+        match &reference_scores {
+            None => reference_scores = Some(scores),
+            Some(reference) => assert!(
+                reference.iter().zip(scores.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "scores changed at {t} threads — determinism contract broken"
+            ),
+        }
+
+        // Parallel symmetric SpMV, amortized over repetitions.
+        let reps = 25;
+        let mut y = vec![0.0; n];
+        let x: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            if t <= 1 {
+                lg.matvec_into(&x, &mut y);
+            } else {
+                lg.sym_matvec_into_threads(&x, &mut y, t);
+            }
+        }
+        let spmv_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+        // Tree-preconditioned PCG with the parallel kernels.
+        let t0 = Instant::now();
+        let sol = pcg(&lg, &b, &pre, &PcgOptions::with_tolerance(1e-3).threads(t));
+        let pcg_s = t0.elapsed().as_secs_f64();
+        assert!(sol.converged, "PCG must converge with the tree preconditioner");
+
+        for (bench, secs) in [
+            ("tree_resistances", lca_s),
+            ("tree_phase_scores", score_s),
+            ("sym_matvec", spmv_s),
+            ("pcg_tree_precond", pcg_s),
+        ] {
+            let serial = *serial_times.entry(bench).or_insert(secs);
+            let mut rec =
+                base(bench, t).num("seconds", secs).num("speedup_vs_first", serial / secs);
+            if bench == "tree_phase_scores" {
+                // score_time belongs only to the scoring row.
+                rec = rec.num("score_time", score_s);
+            }
+            if bench == "pcg_tree_precond" {
+                rec = rec.int("pcg_iterations", sol.iterations as i64);
+            }
+            records.push(rec);
+        }
+
+        // Subgraph-phase scoring against the densified subgraph.
+        if let Some((sub, factor, zinv, sub_cands)) = &sub_fixture {
+            let t0 = Instant::now();
+            let s = subgraph_phase_scores_threads(&g, sub, factor, zinv, sub_cands, BETA, t);
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&s);
+            let serial = *serial_times.entry("subgraph_phase_scores").or_insert(secs);
+            records.push(
+                base("subgraph_phase_scores", t)
+                    .int("factor_nnz", factor.nnz() as i64)
+                    .int("spai_nnz", zinv.nnz() as i64)
+                    .num("seconds", secs)
+                    .num("speedup_vs_first", serial / secs),
+            );
+            println!(
+                "threads {t}: lca {lca_s:.3}s, tree-score {score_s:.3}s, \
+                 spmv {spmv_s:.4}s, pcg {pcg_s:.3}s ({} iters), subgraph-score {secs:.3}s",
+                sol.iterations
+            );
+        } else {
+            println!(
+                "threads {t}: lca {lca_s:.3}s, tree-score {score_s:.3}s, \
+                 spmv {spmv_s:.4}s, pcg {pcg_s:.3}s ({} iters)",
+                sol.iterations
+            );
+        }
+    }
+
+    write_bench_json(&args.out, &records).expect("writing the bench JSON must succeed");
+    println!("wrote {} records to {}", records.len(), args.out);
+}

@@ -17,8 +17,19 @@ fn main() {
     println!("# Table 1: spectral graph sparsification (scale {scale})");
     println!(
         "{:<14} {:>8} {:>9} | {:>8} {:>8} {:>5} {:>8} | {:>8} {:>8} {:>5} {:>8} | {:>6} {:>6}",
-        "case", "|V|", "|E|", "GR T_s", "GR k", "GR Ni", "GR T_i", "TR T_s", "TR k", "TR Ni",
-        "TR T_i", "k red", "Ti red"
+        "case",
+        "|V|",
+        "|E|",
+        "GR T_s",
+        "GR k",
+        "GR Ni",
+        "GR T_i",
+        "TR T_s",
+        "TR k",
+        "TR Ni",
+        "TR T_i",
+        "k red",
+        "Ti red"
     );
     let mut kappa_ratios = Vec::new();
     let mut ti_ratios = Vec::new();

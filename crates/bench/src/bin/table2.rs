@@ -13,6 +13,7 @@
 //!
 //! Usage: `table2 [--scale f] [--case name]`
 
+use std::time::{Duration, Instant};
 use tracered_bench::{geomean, mib, parse_args, secs};
 use tracered_core::{Method, SparsifyConfig};
 use tracered_graph::laplacian::ShiftPolicy;
@@ -20,7 +21,6 @@ use tracered_powergrid::synth::{synthesize, SynthConfig};
 use tracered_powergrid::transient::{probe_pair, simulate_direct, simulate_pcg, TransientConfig};
 use tracered_powergrid::PowerGrid;
 use tracered_solver::precond::{CholPreconditioner, Preconditioner};
-use std::time::{Duration, Instant};
 
 struct PgCase {
     name: &'static str,
@@ -53,8 +53,8 @@ fn build_grid(case: &PgCase, scale: f64) -> PowerGrid {
 /// conductances.
 fn pg_preconditioner(pg: &PowerGrid, method: Method) -> (CholPreconditioner, Duration) {
     let t0 = Instant::now();
-    let cfg = SparsifyConfig::new(method)
-        .shift(ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
+    let cfg =
+        SparsifyConfig::new(method).shift(ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
     let sp = tracered_core::sparsify(pg.graph(), &cfg).expect("PG mesh is connected");
     let pre = CholPreconditioner::from_matrix(&sp.laplacian(pg.graph()))
         .expect("padded sparsifier Laplacian is SPD");
@@ -66,8 +66,19 @@ fn main() {
     println!("# Table 2: power grid transient simulation (scale {scale}, 5 ns horizon)");
     println!(
         "{:<6} {:>7} | {:>8} {:>8} | {:>7} {:>8} {:>6} | {:>7} {:>8} {:>6} {:>8} | {:>5} {:>5}",
-        "case", "|V|", "Dir Ttr", "Dir Mem", "GR T_s", "GR Ttr", "GR Ne", "TR T_s", "TR Ttr",
-        "TR Ne", "TR Mem", "Sp1", "Sp2"
+        "case",
+        "|V|",
+        "Dir Ttr",
+        "Dir Mem",
+        "GR T_s",
+        "GR Ttr",
+        "GR Ne",
+        "TR T_s",
+        "TR Ttr",
+        "TR Ne",
+        "TR Mem",
+        "Sp1",
+        "Sp2"
     );
     let mut sp1s = Vec::new();
     let mut sp2s = Vec::new();

@@ -40,8 +40,19 @@ fn main() {
     println!("# Table 3: approximate Fiedler vector / spectral partitioning (scale {scale})");
     println!(
         "{:<14} {:>8} | {:>8} {:>8} | {:>8} {:>6} {:>9} | {:>8} {:>8} {:>6} {:>9} | {:>5} {:>5}",
-        "case", "|V|", "T_D", "D Mem", "GR T_I", "GR Ne", "GR RelErr", "TR T_I", "TR Mem",
-        "TR Ne", "TR RelErr", "Sp1", "Sp2"
+        "case",
+        "|V|",
+        "T_D",
+        "D Mem",
+        "GR T_I",
+        "GR Ne",
+        "GR RelErr",
+        "TR T_I",
+        "TR Mem",
+        "TR Ne",
+        "TR RelErr",
+        "Sp1",
+        "Sp2"
     );
     let mut sp1s = Vec::new();
     let mut sp2s = Vec::new();

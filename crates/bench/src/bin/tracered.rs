@@ -66,8 +66,7 @@ fn parse(mut args: std::env::Args) -> Result<(String, Options), String> {
                 };
             }
             "--fraction" => {
-                opt.fraction =
-                    value()?.parse().map_err(|_| "invalid --fraction".to_string())?;
+                opt.fraction = value()?.parse().map_err(|_| "invalid --fraction".to_string())?;
             }
             "--iterations" => {
                 opt.iterations =

@@ -161,9 +161,18 @@ pub struct SparsifyEval {
 /// Panics when sparsification fails (the bench cases are always
 /// connected and well-formed).
 pub fn evaluate_sparsifier(g: &Graph, method: Method) -> SparsifyEval {
-    let cfg = SparsifyConfig::new(method);
+    evaluate_with_config(g, &SparsifyConfig::new(method))
+}
+
+/// [`evaluate_sparsifier`] with a caller-supplied configuration —
+/// scaling benches use this to sweep the `threads` knob.
+///
+/// # Panics
+///
+/// Panics when sparsification fails.
+pub fn evaluate_with_config(g: &Graph, cfg: &SparsifyConfig) -> SparsifyEval {
     let t0 = Instant::now();
-    let sp = sparsify(g, &cfg).expect("bench cases are connected");
+    let sp = sparsify(g, cfg).expect("bench cases are connected");
     let sparsify_time = t0.elapsed();
     let lg = sp.graph_laplacian(g);
     let pre = CholPreconditioner::from_matrix(&sp.laplacian(g))
@@ -206,6 +215,113 @@ pub fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.random::<f64>() - 0.5).collect()
+}
+
+/// One machine-readable measurement row for the `BENCH_*.json` files
+/// later PRs diff against. Values are flat key → JSON scalar.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRecord {
+    fields: Vec<(String, JsonValue)>,
+}
+
+/// A JSON scalar value.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string field.
+    Str(String),
+    /// An integer field.
+    Int(i64),
+    /// A float field (serialized with full precision; non-finite → null).
+    Num(f64),
+}
+
+impl BenchRecord {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Str(value.into())));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Int(value)));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Num(value)));
+        self
+    }
+
+    /// Adds a duration field, in seconds.
+    pub fn secs_field(self, key: &str, d: Duration) -> Self {
+        self.num(key, d.as_secs_f64())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(&json_escape(k));
+            out.push_str("\": ");
+            match v {
+                JsonValue::Str(s) => {
+                    out.push('"');
+                    out.push_str(&json_escape(s));
+                    out.push('"');
+                }
+                JsonValue::Int(n) => out.push_str(&n.to_string()),
+                JsonValue::Num(x) if x.is_finite() => out.push_str(&format!("{x:?}")),
+                JsonValue::Num(_) => out.push_str("null"),
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes records as a JSON array (one object per line for easy
+/// diffing) and writes them to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, rec) in records.iter().enumerate() {
+        out.push_str("  ");
+        rec.write_json(&mut out);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
 }
 
 /// Parses `--scale <f64>` and `--case <name>` from `std::env::args`.
@@ -288,6 +404,30 @@ mod tests {
     fn geomean_of_constants() {
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_records_serialize_to_valid_json() {
+        let rec = BenchRecord::new()
+            .str("bench", "tree_phase_scores")
+            .str("quoted", "a\"b\\c")
+            .int("threads", 4)
+            .num("seconds", 0.125)
+            .num("bad", f64::NAN);
+        let mut s = String::new();
+        rec.write_json(&mut s);
+        assert_eq!(
+            s,
+            "{\"bench\": \"tree_phase_scores\", \"quoted\": \"a\\\"b\\\\c\", \
+             \"threads\": 4, \"seconds\": 0.125, \"bad\": null}"
+        );
+        let path = std::env::temp_dir().join("tracered_bench_json_test.json");
+        let path = path.to_str().unwrap();
+        write_bench_json(path, &[rec.clone(), rec]).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.starts_with("[\n") && body.ends_with("]\n"));
+        assert_eq!(body.matches("tree_phase_scores").count(), 2);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub struct SparsifyConfig {
     jl_probes: usize,
     seed: u64,
     track_trace: bool,
+    threads: Option<usize>,
 }
 
 impl Default for SparsifyConfig {
@@ -73,8 +74,7 @@ impl Default for SparsifyConfig {
 impl SparsifyConfig {
     /// Creates the paper-default configuration for a given method.
     pub fn new(method: Method) -> Self {
-        let single_pass =
-            method == Method::EffectiveResistance || method == Method::JlResistance;
+        let single_pass = method == Method::EffectiveResistance || method == Method::JlResistance;
         SparsifyConfig {
             method,
             edge_fraction: 0.10,
@@ -100,7 +100,26 @@ impl SparsifyConfig {
             jl_probes: 24,
             seed: 0x5eed,
             track_trace: false,
+            // Serial by default: scoring, resistances and SpMV stay on
+            // the historical exact arithmetic path unless opted in.
+            threads: Some(1),
         }
+    }
+
+    /// Worker threads for the scoring/SpMV hot paths: `Some(1)` (the
+    /// default) is the exact serial path, `Some(t)` uses `t` workers,
+    /// and `None` uses the hardware's available parallelism.
+    ///
+    /// Criticality scores are bit-identical across thread counts (see
+    /// [`crate::criticality`]), so this only changes wall-clock time.
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured thread knob (`None` = auto-detect).
+    pub fn threads_value(&self) -> Option<usize> {
+        self.threads
     }
 
     /// Number of Johnson–Lindenstrauss probes (full-graph solves) for the
@@ -282,16 +301,11 @@ impl SparsifyConfig {
             });
         }
         if self.iterations == 0 {
-            return Err(CoreError::InvalidConfig {
-                what: "iterations must be at least 1".into(),
-            });
+            return Err(CoreError::InvalidConfig { what: "iterations must be at least 1".into() });
         }
         if !self.spai_threshold.is_finite() || self.spai_threshold < 0.0 {
             return Err(CoreError::InvalidConfig {
-                what: format!(
-                    "spai_threshold {} must be finite and >= 0",
-                    self.spai_threshold
-                ),
+                what: format!("spai_threshold {} must be finite and >= 0", self.spai_threshold),
             });
         }
         if self.method == Method::Grass
@@ -304,6 +318,11 @@ impl SparsifyConfig {
         if self.method == Method::JlResistance && self.jl_probes == 0 {
             return Err(CoreError::InvalidConfig {
                 what: "JL resistance requires at least one probe".into(),
+            });
+        }
+        if self.threads == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                what: "threads must be at least 1 (use None for auto-detect)".into(),
             });
         }
         Ok(())
@@ -361,5 +380,15 @@ mod tests {
         assert!(SparsifyConfig::default().iterations(0).validate().is_err());
         assert!(SparsifyConfig::default().spai_threshold(-1.0).validate().is_err());
         assert!(SparsifyConfig::new(Method::Grass).grass_num_vectors(0).validate().is_err());
+        assert!(SparsifyConfig::default().threads(Some(0)).validate().is_err());
+    }
+
+    #[test]
+    fn threads_knob_defaults_serial_and_accepts_auto() {
+        assert_eq!(SparsifyConfig::default().threads_value(), Some(1));
+        let auto = SparsifyConfig::default().threads(None);
+        assert_eq!(auto.threads_value(), None);
+        assert!(auto.validate().is_ok());
+        assert_eq!(SparsifyConfig::default().threads(Some(8)).threads_value(), Some(8));
     }
 }

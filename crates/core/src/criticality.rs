@@ -25,11 +25,122 @@
 //!   so node voltages follow from BFS with the path edges marked;
 //! - [`subgraph_phase_scores`]: general subgraphs via the sparse
 //!   approximate inverse `Z̃ ≈ L⁻¹` of the Cholesky factor (Eq. 20).
+//!
+//! # Parallel evaluation
+//!
+//! Each candidate's score depends only on read-only shared state (graph,
+//! tree, factor, approximate inverse) plus private scratch, so scoring is
+//! embarrassingly parallel. The `_threads` variants
+//! ([`tree_phase_scores_threads`], [`subgraph_phase_scores_threads`])
+//! fan candidates out over a work-stealing chunk scheduler
+//! ([`tracered_par`]) with one scratch arena per worker; outputs stay
+//! index-aligned and **bit-identical** to the serial path for every
+//! thread count, because each score is computed by exactly the same
+//! per-candidate code either way.
 
 use std::collections::VecDeque;
 
 use tracered_graph::{Graph, RootedTree};
 use tracered_sparse::{ApproxInverse, CholeskyFactor};
+
+/// Minimum candidates per chunk: a β-layer BFS costs far more than queue
+/// traffic, so modest chunks still amortise scratch reuse while giving
+/// the scheduler enough pieces to balance skewed neighbourhood sizes.
+const MIN_CHUNK: usize = 16;
+
+/// Reusable scratch for tree-phase scoring — one arena per worker.
+struct TreeScratch {
+    stamp: u64,
+    member_p: Vec<u64>,
+    member_q: Vec<u64>,
+    volt_p: Vec<f64>,
+    volt_q: Vec<f64>,
+    path_stamp: Vec<u64>,
+    edge_stamp: Vec<u64>,
+    nbr_p: Vec<usize>,
+    queue: VecDeque<(usize, usize)>,
+}
+
+impl TreeScratch {
+    fn new(n: usize, m: usize) -> Self {
+        TreeScratch {
+            stamp: 0,
+            member_p: vec![0; n],
+            member_q: vec![0; n],
+            volt_p: vec![0.0; n],
+            volt_q: vec![0.0; n],
+            path_stamp: vec![0; m],
+            edge_stamp: vec![0; m],
+            nbr_p: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Scores one candidate against the spanning tree (the body of the
+/// serial loop, shared verbatim by the serial and parallel paths).
+fn tree_phase_score_one(
+    g: &Graph,
+    tree: &RootedTree,
+    eid: usize,
+    r: f64,
+    beta: usize,
+    s: &mut TreeScratch,
+) -> f64 {
+    let e = g.edge(eid);
+    let (p, q, w) = (e.u, e.v, e.weight);
+    s.stamp += 1;
+    let stamp = s.stamp;
+    // Mark the unique tree path p→q.
+    for pe in tree.path_edges(p, q) {
+        s.path_stamp[pe] = stamp;
+    }
+    // BFS β layers from p in the tree; v(p) = R, dropping across path
+    // edges only (Eq. 13).
+    s.nbr_p.clear();
+    tree_bfs_voltages(
+        g,
+        tree,
+        p,
+        beta,
+        r,
+        -1.0,
+        stamp,
+        &s.path_stamp,
+        &mut s.member_p,
+        &mut s.volt_p,
+        &mut s.queue,
+        Some(&mut s.nbr_p),
+    );
+    // BFS β layers from q; v(q) = 0, rising across path edges (Eq. 14).
+    tree_bfs_voltages(
+        g,
+        tree,
+        q,
+        beta,
+        0.0,
+        1.0,
+        stamp,
+        &s.path_stamp,
+        &mut s.member_q,
+        &mut s.volt_q,
+        &mut s.queue,
+        None,
+    );
+    // Σ over graph edges (i, j) with i ∈ N(p, β), j ∈ N(q, β).
+    let mut sum = 0.0;
+    for &i in &s.nbr_p {
+        for &(j, cross_eid) in g.neighbors(i) {
+            if s.member_q[j] != stamp || s.edge_stamp[cross_eid] == stamp {
+                continue;
+            }
+            s.edge_stamp[cross_eid] = stamp;
+            let drop = s.volt_p[i] - s.volt_q[j];
+            sum += g.edge(cross_eid).weight * drop * drop;
+        }
+    }
+    w * sum / (1.0 + w * r)
+}
 
 /// Scores all `candidates` (off-tree edge ids of `g`) against the spanning
 /// tree using the truncated trace reduction of Eq. 15.
@@ -52,80 +163,43 @@ pub fn tree_phase_scores(
     resistances: &[f64],
     beta: usize,
 ) -> Vec<f64> {
-    assert_eq!(
-        candidates.len(),
-        resistances.len(),
-        "one resistance per candidate is required"
-    );
+    tree_phase_scores_threads(g, tree, candidates, resistances, beta, 1)
+}
+
+/// [`tree_phase_scores`] evaluated on `threads` workers.
+///
+/// Candidates are chunked onto a work-stealing queue; each worker owns a
+/// private scratch arena (stamps, voltages, BFS queue), so scores are
+/// bit-identical to the serial path in the original candidate order.
+///
+/// # Panics
+///
+/// Same conditions as [`tree_phase_scores`].
+pub fn tree_phase_scores_threads(
+    g: &Graph,
+    tree: &RootedTree,
+    candidates: &[usize],
+    resistances: &[f64],
+    beta: usize,
+    threads: usize,
+) -> Vec<f64> {
+    assert_eq!(candidates.len(), resistances.len(), "one resistance per candidate is required");
     let n = g.num_nodes();
     let m = g.num_edges();
     let mut scores = vec![0.0f64; candidates.len()];
-    // Scratch reused across candidates; stamps avoid O(n) clears.
-    let mut stamp = 0u64;
-    let mut member_p = vec![0u64; n];
-    let mut member_q = vec![0u64; n];
-    let mut volt_p = vec![0.0f64; n];
-    let mut volt_q = vec![0.0f64; n];
-    let mut path_stamp = vec![0u64; m];
-    let mut edge_stamp = vec![0u64; m];
-    let mut nbr_p: Vec<usize> = Vec::new();
-    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
-
-    for (k, &eid) in candidates.iter().enumerate() {
-        let e = g.edge(eid);
-        let (p, q, w) = (e.u, e.v, e.weight);
-        let r = resistances[k];
-        stamp += 1;
-        // Mark the unique tree path p→q.
-        for pe in tree.path_edges(p, q) {
-            path_stamp[pe] = stamp;
-        }
-        // BFS β layers from p in the tree; v(p) = R, dropping across path
-        // edges only (Eq. 13).
-        nbr_p.clear();
-        tree_bfs_voltages(
-            g,
-            tree,
-            p,
-            beta,
-            r,
-            -1.0,
-            stamp,
-            &path_stamp,
-            &mut member_p,
-            &mut volt_p,
-            &mut queue,
-            Some(&mut nbr_p),
-        );
-        // BFS β layers from q; v(q) = 0, rising across path edges (Eq. 14).
-        tree_bfs_voltages(
-            g,
-            tree,
-            q,
-            beta,
-            0.0,
-            1.0,
-            stamp,
-            &path_stamp,
-            &mut member_q,
-            &mut volt_q,
-            &mut queue,
-            None,
-        );
-        // Σ over graph edges (i, j) with i ∈ N(p, β), j ∈ N(q, β).
-        let mut sum = 0.0;
-        for &i in &nbr_p {
-            for &(j, cross_eid) in g.neighbors(i) {
-                if member_q[j] != stamp || edge_stamp[cross_eid] == stamp {
-                    continue;
-                }
-                edge_stamp[cross_eid] = stamp;
-                let drop = volt_p[i] - volt_q[j];
-                sum += g.edge(cross_eid).weight * drop * drop;
+    let chunk = tracered_par::chunk_size(candidates.len(), threads, MIN_CHUNK);
+    tracered_par::par_chunks_mut(
+        &mut scores,
+        chunk,
+        threads,
+        || TreeScratch::new(n, m),
+        |scratch, start, out| {
+            for (off, slot) in out.iter_mut().enumerate() {
+                let k = start + off;
+                *slot = tree_phase_score_one(g, tree, candidates[k], resistances[k], beta, scratch);
             }
-        }
-        scores[k] = w * sum / (1.0 + w * r);
-    }
+        },
+    );
     scores
 }
 
@@ -208,77 +282,149 @@ pub fn subgraph_phase_scores(
     candidates: &[usize],
     beta: usize,
 ) -> Vec<f64> {
+    subgraph_phase_scores_threads(g, subgraph, factor, zinv, candidates, beta, 1)
+}
+
+/// Reusable scratch for subgraph-phase scoring — one arena per worker.
+struct SubgraphScratch {
+    stamp: u64,
+    member_p: Vec<u64>,
+    member_q: Vec<u64>,
+    edge_stamp: Vec<u64>,
+    nbr_p: Vec<usize>,
+    nbr_q: Vec<usize>,
+    queue: VecDeque<(usize, usize)>,
+    /// Dense scatter of z̃_pq (in permuted index space).
+    zpq_dense: Vec<f64>,
+    zpq_touched: Vec<usize>,
+}
+
+impl SubgraphScratch {
+    fn new(n: usize, m: usize) -> Self {
+        SubgraphScratch {
+            stamp: 0,
+            member_p: vec![0; n],
+            member_q: vec![0; n],
+            edge_stamp: vec![0; m],
+            nbr_p: Vec::new(),
+            nbr_q: Vec::new(),
+            queue: VecDeque::new(),
+            zpq_dense: vec![0.0; n],
+            zpq_touched: Vec::new(),
+        }
+    }
+}
+
+/// Scores one candidate against the current subgraph (the body of the
+/// serial loop, shared verbatim by the serial and parallel paths).
+fn subgraph_phase_score_one(
+    g: &Graph,
+    subgraph: &Graph,
+    factor: &CholeskyFactor,
+    zinv: &ApproxInverse,
+    eid: usize,
+    beta: usize,
+    s: &mut SubgraphScratch,
+) -> f64 {
+    let perm = factor.perm();
+    let e = g.edge(eid);
+    let (p, q, w) = (e.u, e.v, e.weight);
+    s.stamp += 1;
+    let stamp = s.stamp;
+    // z̃_pq = z̃_p − z̃_q in permuted space.
+    let pp = perm.old_to_new(p);
+    let qq = perm.old_to_new(q);
+    let zp = zinv.column(pp);
+    let zq = zinv.column(qq);
+    // Scatter and record touched entries for cheap clearing.
+    for (i, v) in zp.iter() {
+        if s.zpq_dense[i] == 0.0 {
+            s.zpq_touched.push(i);
+        }
+        s.zpq_dense[i] += v;
+    }
+    for (i, v) in zq.iter() {
+        if s.zpq_dense[i] == 0.0 {
+            s.zpq_touched.push(i);
+        }
+        s.zpq_dense[i] -= v;
+    }
+    // R̃(p, q) = ‖z̃_pq‖² (since e_pqᵀ L_S⁻¹ e_pq = ‖L⁻¹ e_pq‖²).
+    let r_approx: f64 = zp.norm_sq() - 2.0 * zp.dot(zq) + zq.norm_sq();
+    // β-layer neighbourhoods in the subgraph.
+    s.nbr_p.clear();
+    s.nbr_q.clear();
+    subgraph_bfs(subgraph, p, beta, stamp, &mut s.member_p, &mut s.queue, &mut s.nbr_p);
+    subgraph_bfs(subgraph, q, beta, stamp, &mut s.member_q, &mut s.queue, &mut s.nbr_q);
+    // Σ over graph edges (i, j), i ∈ N_S(p, β), j ∈ N_S(q, β).
+    let mut sum = 0.0;
+    for &i in &s.nbr_p {
+        for &(j, cross_eid) in g.neighbors(i) {
+            if s.member_q[j] != stamp || s.edge_stamp[cross_eid] == stamp {
+                continue;
+            }
+            s.edge_stamp[cross_eid] = stamp;
+            let ii = perm.old_to_new(i);
+            let jj = perm.old_to_new(j);
+            let di = zinv.column(ii).dot_dense(&s.zpq_dense);
+            let dj = zinv.column(jj).dot_dense(&s.zpq_dense);
+            let drop = di - dj;
+            sum += g.edge(cross_eid).weight * drop * drop;
+        }
+    }
+    // Clear the scatter buffer.
+    for &i in &s.zpq_touched {
+        s.zpq_dense[i] = 0.0;
+    }
+    s.zpq_touched.clear();
+    w * sum / (1.0 + w * r_approx)
+}
+
+/// [`subgraph_phase_scores`] evaluated on `threads` workers.
+///
+/// Same work-stealing decomposition and determinism contract as
+/// [`tree_phase_scores_threads`]: one scratch arena (stamps, BFS queue,
+/// z̃ scatter buffer) per worker, bit-identical index-aligned output.
+///
+/// # Panics
+///
+/// Same conditions as [`subgraph_phase_scores`].
+pub fn subgraph_phase_scores_threads(
+    g: &Graph,
+    subgraph: &Graph,
+    factor: &CholeskyFactor,
+    zinv: &ApproxInverse,
+    candidates: &[usize],
+    beta: usize,
+    threads: usize,
+) -> Vec<f64> {
     let n = g.num_nodes();
     assert_eq!(subgraph.num_nodes(), n, "subgraph must share the node set");
     assert_eq!(factor.n(), n, "factor dimension must match the graph");
     assert_eq!(zinv.n(), n, "approximate inverse dimension must match");
     let m = g.num_edges();
-    let perm = factor.perm();
     let mut scores = vec![0.0f64; candidates.len()];
-
-    let mut stamp = 0u64;
-    let mut member_p = vec![0u64; n];
-    let mut member_q = vec![0u64; n];
-    let mut edge_stamp = vec![0u64; m];
-    let mut nbr_p: Vec<usize> = Vec::new();
-    let mut nbr_q: Vec<usize> = Vec::new();
-    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
-    // Dense scatter of z̃_pq (in permuted index space).
-    let mut zpq_dense = vec![0.0f64; n];
-    let mut zpq_touched: Vec<usize> = Vec::new();
-
-    for (k, &eid) in candidates.iter().enumerate() {
-        let e = g.edge(eid);
-        let (p, q, w) = (e.u, e.v, e.weight);
-        stamp += 1;
-        // z̃_pq = z̃_p − z̃_q in permuted space.
-        let pp = perm.old_to_new(p);
-        let qq = perm.old_to_new(q);
-        let zp = zinv.column(pp);
-        let zq = zinv.column(qq);
-        // Scatter and record touched entries for cheap clearing.
-        for (i, v) in zp.iter() {
-            if zpq_dense[i] == 0.0 {
-                zpq_touched.push(i);
+    let chunk = tracered_par::chunk_size(candidates.len(), threads, MIN_CHUNK);
+    tracered_par::par_chunks_mut(
+        &mut scores,
+        chunk,
+        threads,
+        || SubgraphScratch::new(n, m),
+        |scratch, start, out| {
+            for (off, slot) in out.iter_mut().enumerate() {
+                let k = start + off;
+                *slot = subgraph_phase_score_one(
+                    g,
+                    subgraph,
+                    factor,
+                    zinv,
+                    candidates[k],
+                    beta,
+                    scratch,
+                );
             }
-            zpq_dense[i] += v;
-        }
-        for (i, v) in zq.iter() {
-            if zpq_dense[i] == 0.0 {
-                zpq_touched.push(i);
-            }
-            zpq_dense[i] -= v;
-        }
-        // R̃(p, q) = ‖z̃_pq‖² (since e_pqᵀ L_S⁻¹ e_pq = ‖L⁻¹ e_pq‖²).
-        let r_approx: f64 = zp.norm_sq() - 2.0 * zp.dot(zq) + zq.norm_sq();
-        // β-layer neighbourhoods in the subgraph.
-        nbr_p.clear();
-        nbr_q.clear();
-        subgraph_bfs(subgraph, p, beta, stamp, &mut member_p, &mut queue, &mut nbr_p);
-        subgraph_bfs(subgraph, q, beta, stamp, &mut member_q, &mut queue, &mut nbr_q);
-        // Σ over graph edges (i, j), i ∈ N_S(p, β), j ∈ N_S(q, β).
-        let mut sum = 0.0;
-        for &i in &nbr_p {
-            for &(j, cross_eid) in g.neighbors(i) {
-                if member_q[j] != stamp || edge_stamp[cross_eid] == stamp {
-                    continue;
-                }
-                edge_stamp[cross_eid] = stamp;
-                let ii = perm.old_to_new(i);
-                let jj = perm.old_to_new(j);
-                let di = zinv.column(ii).dot_dense(&zpq_dense);
-                let dj = zinv.column(jj).dot_dense(&zpq_dense);
-                let drop = di - dj;
-                sum += g.edge(cross_eid).weight * drop * drop;
-            }
-        }
-        scores[k] = w * sum / (1.0 + w * r_approx);
-        // Clear the scatter buffer.
-        for &i in &zpq_touched {
-            zpq_dense[i] = 0.0;
-        }
-        zpq_touched.clear();
-    }
+        },
+    );
     scores
 }
 
@@ -314,16 +460,15 @@ fn subgraph_bfs(
 mod tests {
     use super::*;
     use tracered_graph::gen::{random_connected, WeightProfile};
+    use tracered_graph::laplacian::subgraph_laplacian;
     use tracered_graph::lca::tree_resistances;
     use tracered_graph::mst::{spanning_tree, TreeKind};
-    use tracered_graph::laplacian::subgraph_laplacian;
     use tracered_sparse::order::Ordering;
     use tracered_sparse::SpaiOptions;
 
     /// Cycle graph 0-1-…-(n-1)-0, tree = the path, one off-tree edge.
     fn cycle(n: usize) -> (Graph, RootedTree, usize) {
-        let mut edges: Vec<(usize, usize, f64)> =
-            (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
         edges.push((0, n - 1, 1.0));
         let g = Graph::from_edges(n, &edges).unwrap();
         let ids: Vec<usize> = (0..n - 1).collect();
@@ -389,8 +534,7 @@ mod tests {
         let factor = CholeskyFactor::factorize(&ls, Ordering::MinDegree).unwrap();
         let zinv = ApproxInverse::build(factor.l(), SpaiOptions::with_threshold(0.0)).unwrap();
         let sub = g.edge_subgraph(&st.tree_edges);
-        let sub_scores =
-            subgraph_phase_scores(&g, &sub, &factor, &zinv, &st.off_tree_edges, n);
+        let sub_scores = subgraph_phase_scores(&g, &sub, &factor, &zinv, &st.off_tree_edges, n);
         for (k, (a, b)) in tree_scores.iter().zip(sub_scores.iter()).enumerate() {
             assert!(
                 (a - b).abs() < 1e-4 * (1.0 + a.abs()),

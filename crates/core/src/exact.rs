@@ -32,11 +32,7 @@ pub fn subgraph_inverse(
 /// # Errors
 ///
 /// Returns [`CoreError::Sparse`] when `L_S` is not positive definite.
-pub fn trace_proxy(
-    g: &Graph,
-    subgraph_edges: &[usize],
-    shifts: &[f64],
-) -> Result<f64, CoreError> {
+pub fn trace_proxy(g: &Graph, subgraph_edges: &[usize], shifts: &[f64]) -> Result<f64, CoreError> {
     let lsinv = subgraph_inverse(g, subgraph_edges, shifts)?;
     let lg = laplacian_with_shifts(g, shifts).to_dense();
     Ok(lsinv.matmul(&lg).trace())
@@ -199,10 +195,8 @@ pub fn greedy_oracle_sparsifier(
     budget: usize,
     shifts: &[f64],
 ) -> Result<Vec<usize>, CoreError> {
-    let st = tracered_graph::mst::spanning_tree(
-        g,
-        tracered_graph::mst::TreeKind::MaxEffectiveWeight,
-    )?;
+    let st =
+        tracered_graph::mst::spanning_tree(g, tracered_graph::mst::TreeKind::MaxEffectiveWeight)?;
     let mut selected = st.tree_edges;
     let mut candidates = st.off_tree_edges;
     for _ in 0..budget.min(candidates.len()) {
@@ -227,9 +221,8 @@ mod tests {
     fn setup() -> (Graph, Vec<usize>, Vec<f64>) {
         let g = random_connected(12, 10, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 3);
         // Subgraph: a spanning tree.
-        let st =
-            tracered_graph::mst::spanning_tree(&g, tracered_graph::mst::TreeKind::MaxWeight)
-                .unwrap();
+        let st = tracered_graph::mst::spanning_tree(&g, tracered_graph::mst::TreeKind::MaxWeight)
+            .unwrap();
         let shifts = vec![1e-3; 12];
         (g, st.tree_edges, shifts)
     }
@@ -238,8 +231,7 @@ mod tests {
     fn sherman_morrison_trace_identity() {
         // Tr(L_{S+e}⁻¹ L_G) = Tr(L_S⁻¹ L_G) − TrRed_S(e), exactly.
         let (g, sub, shifts) = setup();
-        let off: Vec<usize> =
-            (0..g.num_edges()).filter(|id| !sub.contains(id)).collect();
+        let off: Vec<usize> = (0..g.num_edges()).filter(|id| !sub.contains(id)).collect();
         let before = trace_proxy(&g, &sub, &shifts).unwrap();
         for &eid in off.iter().take(5) {
             let red = trace_reduction(&g, &sub, &shifts, eid).unwrap();
@@ -284,11 +276,8 @@ mod tests {
     #[test]
     fn effective_resistance_series_parallel() {
         // Two parallel paths 0-1-2 (r=2) and 0-3-2 (r=2): R(0,2) = 1.
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0), (3, 2, 1.0)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0), (3, 2, 1.0)]).unwrap();
         let r = effective_resistance(&g, 0, 2).unwrap();
         assert!((r - 1.0).abs() < 1e-10);
     }

@@ -41,41 +41,127 @@ pub fn grass_scores(
     num_vectors: usize,
     rng: &mut StdRng,
 ) -> Vec<f64> {
+    grass_scores_threads(g, lg, factor, candidates, power_steps, num_vectors, rng, 1)
+}
+
+/// [`grass_scores`] with the probe evaluations fanned out over
+/// `threads` workers.
+///
+/// The random ±1 probes are drawn serially (preserving the RNG stream),
+/// then each probe's power iteration and candidate scoring run as an
+/// independent work-stealing job with private `h`/`tmp` buffers. Probe
+/// contributions are reduced in probe order, so results are
+/// bit-identical to the serial path for every thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`grass_scores`].
+#[allow(clippy::too_many_arguments)]
+pub fn grass_scores_threads(
+    g: &Graph,
+    lg: &CscMatrix,
+    factor: &CholeskyFactor,
+    candidates: &[usize],
+    power_steps: usize,
+    num_vectors: usize,
+    rng: &mut StdRng,
+    threads: usize,
+) -> Vec<f64> {
     let n = g.num_nodes();
     assert_eq!(lg.ncols(), n, "Laplacian dimension must match the graph");
     assert_eq!(factor.n(), n, "factor dimension must match the graph");
     assert!(power_steps > 0, "at least one power step is required");
-    let mut scores = vec![0.0f64; candidates.len()];
-    let mut h = vec![0.0f64; n];
-    let mut tmp = vec![0.0f64; n];
-    for _ in 0..num_vectors {
-        // Random ±1 probe, de-meaned so it is not dominated by the
-        // near-nullspace constant vector.
-        for hi in h.iter_mut() {
-            *hi = if rng.random::<bool>() { 1.0 } else { -1.0 };
-        }
-        let mean: f64 = h.iter().sum::<f64>() / n as f64;
-        for hi in h.iter_mut() {
-            *hi -= mean;
-        }
-        for _ in 0..power_steps {
-            // h ← L_S⁻¹ (L_G h), normalised to keep magnitudes stable.
-            lg.matvec_into(&h, &mut tmp);
-            factor.solve_into(&tmp, &mut h);
-            let norm = h.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm > 0.0 {
-                for hi in h.iter_mut() {
-                    *hi /= norm;
-                }
+    let k = candidates.len();
+    let mut scores = vec![0.0f64; k];
+    if threads <= 1 {
+        // Streaming serial path: draw-and-consume one probe at a time
+        // in O(n) scratch, accumulating into `scores` in probe order.
+        let mut h = vec![0.0f64; n];
+        let mut tmp = vec![0.0f64; n];
+        for _ in 0..num_vectors {
+            draw_probe(&mut h, rng);
+            power_iterate(lg, factor, power_steps, &mut h, &mut tmp);
+            for (s, &eid) in scores.iter_mut().zip(candidates.iter()) {
+                let e = g.edge(eid);
+                let d = h[e.u] - h[e.v];
+                *s += e.weight * d * d;
             }
         }
-        for (k, &eid) in candidates.iter().enumerate() {
-            let e = g.edge(eid);
-            let d = h[e.u] - h[e.v];
-            scores[k] += e.weight * d * d;
+        return scores;
+    }
+    // Parallel path: draw every probe up front in the same serial stream
+    // order, fan the probe evaluations out, then reduce in probe order —
+    // the exact accumulation order of the serial loop above.
+    let probes: Vec<Vec<f64>> = (0..num_vectors)
+        .map(|_| {
+            let mut h = vec![0.0f64; n];
+            draw_probe(&mut h, rng);
+            h
+        })
+        .collect();
+    if k == 0 || num_vectors == 0 {
+        return scores;
+    }
+    // One work item per probe: contributions[j*k..(j+1)*k] holds probe
+    // j's per-candidate terms.
+    let mut contributions = vec![0.0f64; num_vectors * k];
+    tracered_par::par_chunks_mut(
+        &mut contributions,
+        k,
+        threads,
+        || (vec![0.0f64; n], vec![0.0f64; n]),
+        |(h, tmp), start, out| {
+            let j = start / k;
+            h.copy_from_slice(&probes[j]);
+            power_iterate(lg, factor, power_steps, h, tmp);
+            for (slot, &eid) in out.iter_mut().zip(candidates.iter()) {
+                let e = g.edge(eid);
+                let d = h[e.u] - h[e.v];
+                *slot = e.weight * d * d;
+            }
+        },
+    );
+    for j in 0..num_vectors {
+        let part = &contributions[j * k..(j + 1) * k];
+        for (s, &c) in scores.iter_mut().zip(part.iter()) {
+            *s += c;
         }
     }
     scores
+}
+
+/// Fills `h` with a random ±1 probe, de-meaned so it is not dominated by
+/// the near-nullspace constant vector.
+fn draw_probe(h: &mut [f64], rng: &mut StdRng) {
+    let n = h.len();
+    for hi in h.iter_mut() {
+        *hi = if rng.random::<bool>() { 1.0 } else { -1.0 };
+    }
+    let mean: f64 = h.iter().sum::<f64>() / n as f64;
+    for hi in h.iter_mut() {
+        *hi -= mean;
+    }
+}
+
+/// `power_steps` rounds of `h ← L_S⁻¹ (L_G h)`, normalised each step to
+/// keep magnitudes stable.
+fn power_iterate(
+    lg: &CscMatrix,
+    factor: &CholeskyFactor,
+    power_steps: usize,
+    h: &mut [f64],
+    tmp: &mut [f64],
+) {
+    for _ in 0..power_steps {
+        lg.matvec_into(h, tmp);
+        factor.solve_into(tmp, h);
+        let norm = h.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for hi in h.iter_mut() {
+                *hi /= norm;
+            }
+        }
+    }
 }
 
 /// Deterministic RNG used by the GRASS pipeline.

@@ -45,10 +45,7 @@ pub fn jl_resistances(
     let n = g.num_nodes();
     assert!(probes > 0, "at least one probe is required");
     assert_eq!(factor.n(), n, "factor dimension must match the graph");
-    assert!(
-        pairs.iter().all(|&(u, v)| u < n && v < n),
-        "pair endpoints must be in bounds"
-    );
+    assert!(pairs.iter().all(|&(u, v)| u < n && v < n), "pair endpoints must be in bounds");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut acc = vec![0.0f64; pairs.len()];
     let mut y = vec![0.0f64; n];
@@ -90,11 +87,7 @@ pub fn jl_scores(
     let pairs: Vec<(usize, usize)> =
         candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
     let rs = jl_resistances(g, full_factor, &pairs, probes, seed);
-    candidates
-        .iter()
-        .zip(rs.iter())
-        .map(|(&id, &r)| g.edge(id).weight * r)
-        .collect()
+    candidates.iter().zip(rs.iter()).map(|(&id, &r)| g.edge(id).weight * r).collect()
 }
 
 #[cfg(test)]

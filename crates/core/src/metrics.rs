@@ -69,23 +69,68 @@ pub fn trace_proxy_hutchinson(
     probes: usize,
     seed: u64,
 ) -> f64 {
+    trace_proxy_hutchinson_threads(lg, lp_factor, probes, seed, 1)
+}
+
+/// [`trace_proxy_hutchinson`] with the probe evaluations fanned out over
+/// `threads` workers.
+///
+/// Probes are drawn serially (fixed RNG stream), each probe's
+/// matvec-and-solve runs as an independent work item with private
+/// buffers, and the per-probe quadratic forms are averaged in probe
+/// order — bit-identical to the serial path for every thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`trace_proxy_hutchinson`].
+pub fn trace_proxy_hutchinson_threads(
+    lg: &CscMatrix,
+    lp_factor: &CholeskyFactor,
+    probes: usize,
+    seed: u64,
+    threads: usize,
+) -> f64 {
     let n = lg.ncols();
     assert_eq!(lp_factor.n(), n, "dimensions must agree");
     assert!(probes > 0, "at least one probe is required");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut z = vec![0.0f64; n];
-    let mut lgz = vec![0.0f64; n];
-    let mut y = vec![0.0f64; n];
-    let mut acc = 0.0;
-    for _ in 0..probes {
-        for zi in z.iter_mut() {
-            *zi = if rng.random::<bool>() { 1.0 } else { -1.0 };
+    if threads <= 1 {
+        // Streaming serial path: one probe at a time in O(n) scratch,
+        // accumulated in probe order.
+        let mut z = vec![0.0f64; n];
+        let mut lgz = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        let mut acc = 0.0;
+        for _ in 0..probes {
+            for zi in z.iter_mut() {
+                *zi = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            }
+            lg.matvec_into(&z, &mut lgz);
+            lp_factor.solve_into(&lgz, &mut y);
+            acc += z.iter().zip(y.iter()).map(|(a, b)| a * b).sum::<f64>();
         }
-        lg.matvec_into(&z, &mut lgz);
-        lp_factor.solve_into(&lgz, &mut y);
-        acc += z.iter().zip(y.iter()).map(|(a, b)| a * b).sum::<f64>();
+        return acc / probes as f64;
     }
-    acc / probes as f64
+    // Parallel path: probes drawn up front in the same stream order, one
+    // work item each, quadratic forms summed in probe order — identical
+    // to the serial accumulation.
+    let probe_vecs: Vec<Vec<f64>> = (0..probes)
+        .map(|_| (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect())
+        .collect();
+    let mut terms = vec![0.0f64; probes];
+    tracered_par::par_chunks_mut(
+        &mut terms,
+        1,
+        threads,
+        || (vec![0.0f64; n], vec![0.0f64; n]),
+        |(lgz, y), start, out| {
+            let z = &probe_vecs[start];
+            lg.matvec_into(z, lgz);
+            lp_factor.solve_into(lgz, y);
+            out[0] = z.iter().zip(y.iter()).map(|(a, b)| a * b).sum::<f64>();
+        },
+    );
+    terms.iter().sum::<f64>() / probes as f64
 }
 
 /// Exact `Trace(L_P⁻¹ L_G)` via `n` solves — `O(n²)`-ish on sparse
@@ -172,10 +217,7 @@ mod tests {
         }
         let mv = m.matvec(&v);
         let lam: f64 = v.iter().zip(mv.iter()).map(|(a, b)| a * b).sum();
-        assert!(
-            (k - lam).abs() < 0.05 * lam,
-            "sparse estimate {k} vs dense {lam}"
-        );
+        assert!((k - lam).abs() < 0.05 * lam, "sparse estimate {k} vs dense {lam}");
     }
 
     #[test]
@@ -183,10 +225,7 @@ mod tests {
         let (lg, tree, _) = setup();
         let exact = trace_proxy_exact(&lg, &tree);
         let est = trace_proxy_hutchinson(&lg, &tree, 200, 9);
-        assert!(
-            (est - exact).abs() < 0.15 * exact,
-            "hutchinson {est} vs exact {exact}"
-        );
+        assert!((est - exact).abs() < 0.15 * exact, "hutchinson {est} vs exact {exact}");
     }
 
     #[test]

@@ -16,15 +16,15 @@
 use std::time::{Duration, Instant};
 
 use tracered_graph::laplacian::{laplacian_with_shifts, subgraph_laplacian};
-use tracered_graph::lca::tree_resistances;
+use tracered_graph::lca::tree_resistances_threads;
 use tracered_graph::mst::spanning_tree;
 use tracered_graph::{Graph, GraphError, RootedTree};
 use tracered_sparse::{ApproxInverse, CholeskyFactor, CscMatrix, SpaiOptions};
 
 use crate::config::{Method, SparsifyConfig};
-use crate::criticality::{subgraph_phase_scores, tree_phase_scores};
+use crate::criticality::{subgraph_phase_scores_threads, tree_phase_scores_threads};
 use crate::error::CoreError;
-use crate::grass::{grass_scores, probe_rng};
+use crate::grass::{grass_scores_threads, probe_rng};
 use crate::similarity::SimilarityExclusion;
 
 /// Per-iteration diagnostics collected by the driver.
@@ -48,6 +48,11 @@ pub struct IterationStats {
     /// iteration's recovery (only when
     /// [`SparsifyConfig::track_trace`] is enabled).
     pub trace_estimate: Option<f64>,
+    /// Worker threads the scoring engine ran on (resolved from
+    /// [`SparsifyConfig::threads`]; 1 = exact serial path). Comparing
+    /// `score_time` across runs at different thread counts gives the
+    /// score-phase speedup — scores themselves are bit-identical.
+    pub threads: usize,
 }
 
 /// Summary of a sparsification run.
@@ -197,6 +202,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
         ((cfg.edge_fraction_value() * n as f64).round() as usize).min(st.off_tree_edges.len());
     let nr = cfg.num_iterations();
     let lg = laplacian_with_shifts(g, &shifts);
+    let threads = tracered_par::effective_threads(cfg.threads_value());
     let mut rng = probe_rng(cfg.seed_value());
 
     let mut selected = st.tree_edges.clone();
@@ -220,15 +226,17 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
             score_time: Duration::ZERO,
             spai_nnz: 0,
             trace_estimate: None,
+            threads,
         };
         if cfg.track_trace_enabled() {
             let ls = subgraph_laplacian(g, &selected, &shifts);
             if let Ok(factor) = CholeskyFactor::factorize(&ls, cfg.ordering_value()) {
-                stats.trace_estimate = Some(crate::metrics::trace_proxy_hutchinson(
+                stats.trace_estimate = Some(crate::metrics::trace_proxy_hutchinson_threads(
                     &lg,
                     &factor,
-                    8,
+                    24,
                     cfg.seed_value() ^ iter_idx as u64,
+                    threads,
                 ));
             }
         }
@@ -240,13 +248,13 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 Method::TraceReduction => {
                     let pairs: Vec<(usize, usize)> =
                         candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
-                    let rs = tree_resistances(&tree, &pairs);
-                    tree_phase_scores(g, &tree, &candidates, &rs, cfg.beta_value())
+                    let rs = tree_resistances_threads(&tree, &pairs, threads);
+                    tree_phase_scores_threads(g, &tree, &candidates, &rs, cfg.beta_value(), threads)
                 }
                 Method::EffectiveResistance => {
                     let pairs: Vec<(usize, usize)> =
                         candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
-                    let rs = tree_resistances(&tree, &pairs);
+                    let rs = tree_resistances_threads(&tree, &pairs, threads);
                     candidates
                         .iter()
                         .zip(rs.iter())
@@ -258,7 +266,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                     let ls = subgraph_laplacian(g, &selected, &shifts);
                     let factor = CholeskyFactor::factorize(&ls, cfg.ordering_value())?;
                     stats.factor_time = t_factor.elapsed();
-                    grass_scores(
+                    grass_scores_threads(
                         g,
                         &lg,
                         &factor,
@@ -266,6 +274,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                         cfg.grass_power_steps_value(),
                         cfg.grass_num_vectors_value(),
                         &mut rng,
+                        threads,
                     )
                 }
                 Method::JlResistance => {
@@ -297,16 +306,17 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                     )?;
                     stats.spai_nnz = zinv.nnz();
                     let subgraph = g.edge_subgraph(&selected);
-                    subgraph_phase_scores(
+                    subgraph_phase_scores_threads(
                         g,
                         &subgraph,
                         &factor,
                         &zinv,
                         &candidates,
                         cfg.beta_value(),
+                        threads,
                     )
                 }
-                Method::Grass => grass_scores(
+                Method::Grass => grass_scores_threads(
                     g,
                     &lg,
                     &factor,
@@ -314,13 +324,14 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                     cfg.grass_power_steps_value(),
                     cfg.grass_num_vectors_value(),
                     &mut rng,
+                    threads,
                 ),
                 Method::EffectiveResistance => {
                     // Single-pass method; if the user forces more
                     // iterations, keep re-ranking by tree resistance.
                     let pairs: Vec<(usize, usize)> =
                         candidates.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
-                    let rs = tree_resistances(&tree, &pairs);
+                    let rs = tree_resistances_threads(&tree, &pairs, threads);
                     candidates
                         .iter()
                         .zip(rs.iter())
@@ -464,14 +475,9 @@ mod tests {
         // The paper's headline: trace reduction produces better sparsifiers
         // than effective-resistance ranking at the same edge count.
         let g = tri_mesh(14, 14, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 7);
-        let k_tr = kappa(
-            &g,
-            &sparsify(&g, &SparsifyConfig::new(Method::TraceReduction)).unwrap(),
-        );
-        let k_er = kappa(
-            &g,
-            &sparsify(&g, &SparsifyConfig::new(Method::EffectiveResistance)).unwrap(),
-        );
+        let k_tr = kappa(&g, &sparsify(&g, &SparsifyConfig::new(Method::TraceReduction)).unwrap());
+        let k_er =
+            kappa(&g, &sparsify(&g, &SparsifyConfig::new(Method::EffectiveResistance)).unwrap());
         assert!(
             k_tr < k_er * 1.05,
             "trace reduction ({k_tr}) should not lose to effective resistance ({k_er})"
@@ -500,10 +506,8 @@ mod tests {
         // quality league as tree-resistance ranking.
         let g = tri_mesh(12, 12, WeightProfile::LogUniform { lo: 0.3, hi: 3.0 }, 11);
         let k_jl = kappa(&g, &sparsify(&g, &SparsifyConfig::new(Method::JlResistance)).unwrap());
-        let k_er = kappa(
-            &g,
-            &sparsify(&g, &SparsifyConfig::new(Method::EffectiveResistance)).unwrap(),
-        );
+        let k_er =
+            kappa(&g, &sparsify(&g, &SparsifyConfig::new(Method::EffectiveResistance)).unwrap());
         assert!(k_jl >= 1.0 && k_er >= 1.0);
         assert!(k_jl < k_er * 3.0, "JL κ {k_jl} should be comparable to tree-ER κ {k_er}");
         // And the full-graph factorization cost is recorded.
@@ -555,11 +559,7 @@ mod tests {
     #[test]
     fn tracked_trace_decreases_across_iterations() {
         let g = tri_mesh(12, 12, WeightProfile::LogUniform { lo: 0.5, hi: 2.0 }, 4);
-        let sp = sparsify(
-            &g,
-            &SparsifyConfig::default().iterations(4).track_trace(true),
-        )
-        .unwrap();
+        let sp = sparsify(&g, &SparsifyConfig::default().iterations(4).track_trace(true)).unwrap();
         let traces: Vec<f64> = sp
             .report()
             .iterations
@@ -570,10 +570,7 @@ mod tests {
         // Each iteration's recoveries must lower the trace seen by the
         // next one (Hutchinson noise allowed: 5% slack).
         for w in traces.windows(2) {
-            assert!(
-                w[1] < w[0] * 1.05,
-                "trace must trend down across iterations: {traces:?}"
-            );
+            assert!(w[1] < w[0] * 1.05, "trace must trend down across iterations: {traces:?}");
         }
         assert!(traces.last().unwrap() * 1.5 < traces[0], "overall drop expected: {traces:?}");
     }

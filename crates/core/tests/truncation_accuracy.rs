@@ -23,19 +23,14 @@ fn tree_setup(g: &Graph) -> (RootedTree, Vec<usize>, Vec<usize>) {
 fn tree_phase_with_full_beta_matches_grounded_oracle() {
     let g = random_connected(25, 30, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 17);
     let (tree, tree_edges, off) = tree_setup(&g);
-    let pairs: Vec<(usize, usize)> =
-        off.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
+    let pairs: Vec<(usize, usize)> = off.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
     let rs = tree_resistances(&tree, &pairs);
     // β = n covers the whole tree → the truncation is exact.
     let truncated = tree_phase_scores(&g, &tree, &off, &rs, g.num_nodes());
     for (k, &eid) in off.iter().enumerate() {
         let oracle = exact::trace_reduction_grounded(&g, &tree_edges, eid).unwrap();
         let rel = (truncated[k] - oracle).abs() / (1.0 + oracle.abs());
-        assert!(
-            rel < 1e-9,
-            "edge {eid}: truncated {} vs oracle {oracle}",
-            truncated[k]
-        );
+        assert!(rel < 1e-9, "edge {eid}: truncated {} vs oracle {oracle}", truncated[k]);
     }
 }
 
@@ -45,8 +40,7 @@ fn tree_phase_truncation_never_exceeds_exact() {
     // is a lower bound of the exact one.
     let g = tri_mesh(8, 8, WeightProfile::LogUniform { lo: 0.5, hi: 2.0 }, 23);
     let (tree, tree_edges, off) = tree_setup(&g);
-    let pairs: Vec<(usize, usize)> =
-        off.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
+    let pairs: Vec<(usize, usize)> = off.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
     let rs = tree_resistances(&tree, &pairs);
     for beta in [1usize, 2, 3, 5] {
         let truncated = tree_phase_scores(&g, &tree, &off, &rs, beta);
@@ -65,8 +59,7 @@ fn tree_phase_truncation_never_exceeds_exact() {
 fn tree_phase_beta5_is_close_to_exact_on_mesh() {
     let g = tri_mesh(10, 10, WeightProfile::Unit, 3);
     let (tree, tree_edges, off) = tree_setup(&g);
-    let pairs: Vec<(usize, usize)> =
-        off.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
+    let pairs: Vec<(usize, usize)> = off.iter().map(|&id| (g.edge(id).u, g.edge(id).v)).collect();
     let rs = tree_resistances(&tree, &pairs);
     let truncated = tree_phase_scores(&g, &tree, &off, &rs, 5);
     let mut captured = 0.0;
@@ -77,10 +70,7 @@ fn tree_phase_beta5_is_close_to_exact_on_mesh() {
         total += oracle;
     }
     let coverage = captured / total;
-    assert!(
-        coverage > 0.5,
-        "β=5 should capture most of the trace reduction mass, got {coverage}"
-    );
+    assert!(coverage > 0.5, "β=5 should capture most of the trace reduction mass, got {coverage}");
 }
 
 #[test]
@@ -105,11 +95,7 @@ fn subgraph_phase_with_exact_inverse_and_full_beta_matches_oracle() {
         // from the dense inverse minus the shift correction.
         let with_shift = exact::trace_reduction_with_inverse(&g, &lsinv, &shifts, eid);
         let rel = (scores[k] - with_shift).abs() / (1.0 + with_shift.abs());
-        assert!(
-            rel < 1e-4,
-            "edge {eid}: spai score {} vs oracle {with_shift}",
-            scores[k]
-        );
+        assert!(rel < 1e-4, "edge {eid}: spai score {} vs oracle {with_shift}", scores[k]);
     }
 }
 
@@ -142,14 +128,7 @@ fn subgraph_phase_default_spai_preserves_top_ranking() {
     };
     let ra = rank(&approx);
     let re = rank(&exact_scores);
-    let top_half: std::collections::HashSet<usize> =
-        re[..re.len() / 2].iter().copied().collect();
-    let hits = ra[..10.min(ra.len())]
-        .iter()
-        .filter(|&&i| top_half.contains(&i))
-        .count();
-    assert!(
-        hits >= 8,
-        "approximate top-10 must mostly agree with exact ranking, hits = {hits}"
-    );
+    let top_half: std::collections::HashSet<usize> = re[..re.len() / 2].iter().copied().collect();
+    let hits = ra[..10.min(ra.len())].iter().filter(|&&i| top_half.contains(&i)).count();
+    assert!(hits >= 8, "approximate top-10 must mostly agree with exact ranking, hits = {hits}");
 }

@@ -55,7 +55,12 @@ impl BfsScratch {
 ///
 /// Panics if `start` is out of bounds or `scratch` was created for a
 /// different node count.
-pub fn bfs_layers(g: &Graph, start: usize, layers: usize, scratch: &mut BfsScratch) -> Vec<BfsNode> {
+pub fn bfs_layers(
+    g: &Graph,
+    start: usize,
+    layers: usize,
+    scratch: &mut BfsScratch,
+) -> Vec<BfsNode> {
     assert_eq!(scratch.len(), g.num_nodes(), "scratch sized for a different graph");
     assert!(start < g.num_nodes(), "start node out of bounds");
     scratch.round += 1;

@@ -179,7 +179,9 @@ mod tests {
     fn grid3d_counts() {
         let g = grid3d(2, 3, 4, WeightProfile::Unit, 0);
         assert_eq!(g.num_nodes(), 24);
-        assert_eq!(g.num_edges(), 1 * 3 * 4 + 2 * 2 * 4 + 2 * 3 * 3);
+        #[allow(clippy::identity_op)] // 1·3·4 mirrors the (dims−1)·… structure
+        let expected = 1 * 3 * 4 + 2 * 2 * 4 + 2 * 3 * 3;
+        assert_eq!(g.num_edges(), expected);
         assert!(g.is_connected());
     }
 

@@ -75,10 +75,7 @@ impl Graph {
     ///
     /// Returns [`GraphError::NodeOutOfBounds`], [`GraphError::SelfLoop`]
     /// or [`GraphError::InvalidWeight`] when the input is malformed.
-    pub fn from_edges(
-        num_nodes: usize,
-        edges: &[(usize, usize, f64)],
-    ) -> Result<Self, GraphError> {
+    pub fn from_edges(num_nodes: usize, edges: &[(usize, usize, f64)]) -> Result<Self, GraphError> {
         let list: Vec<Edge> = edges.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
         Self::from_edge_list(num_nodes, list)
     }
@@ -91,10 +88,7 @@ impl Graph {
     pub fn from_edge_list(num_nodes: usize, edges: Vec<Edge>) -> Result<Self, GraphError> {
         for (idx, e) in edges.iter().enumerate() {
             if e.u >= num_nodes || e.v >= num_nodes {
-                return Err(GraphError::NodeOutOfBounds {
-                    node: e.u.max(e.v),
-                    num_nodes,
-                });
+                return Err(GraphError::NodeOutOfBounds { node: e.u.max(e.v), num_nodes });
             }
             if e.u == e.v {
                 return Err(GraphError::SelfLoop { node: e.u });
@@ -324,8 +318,8 @@ mod tests {
 
     #[test]
     fn adjacency_is_consistent() {
-        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)]).unwrap();
         assert_eq!(g.degree(0), 2);
         assert_eq!(g.degree(1), 2);
         let n0: Vec<usize> = g.neighbors(0).iter().map(|&(v, _)| v).collect();
@@ -375,8 +369,8 @@ mod tests {
 
     #[test]
     fn induced_subgraph_relabels_and_filters() {
-        let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)]).unwrap();
         let (sub, map) = g.induced_subgraph(&[1, 2, 4]);
         assert_eq!(sub.num_nodes(), 3);
         // Only edge (1,2) survives; (3,4) loses node 3.

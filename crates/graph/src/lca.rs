@@ -88,11 +88,45 @@ pub fn offline_lca(tree: &RootedTree, queries: &[(usize, usize)]) -> Vec<usize> 
 /// [`offline_lca`]: `R_T(p, q) = r(p) + r(q) − 2 r(lca)`.
 pub fn tree_resistances(tree: &RootedTree, pairs: &[(usize, usize)]) -> Vec<f64> {
     let lcas = offline_lca(tree, pairs);
-    pairs
-        .iter()
-        .zip(lcas.iter())
-        .map(|(&(p, q), &l)| tree.resistance_between(p, q, l))
-        .collect()
+    pairs.iter().zip(lcas.iter()).map(|(&(p, q), &l)| tree.resistance_between(p, q, l)).collect()
+}
+
+/// [`tree_resistances`] with the query batch chunked over `threads`
+/// workers.
+///
+/// Each chunk runs its own [`offline_lca`] pass (private union-find and
+/// DFS stack) over the whole tree; per-query answers are independent of
+/// how the batch is split, so results are bit-identical to the serial
+/// path. Chunks are kept large — an LCA pass costs `O(n)` regardless of
+/// batch size, so splitting only pays off when the batch dwarfs the
+/// per-pass overhead.
+pub fn tree_resistances_threads(
+    tree: &RootedTree,
+    pairs: &[(usize, usize)],
+    threads: usize,
+) -> Vec<f64> {
+    // Below this many queries per worker, the O(n) tree sweep per chunk
+    // dominates; fall back to one serial pass.
+    let min_chunk = (tree.num_nodes() / 4).max(1024);
+    if threads <= 1 || pairs.len() <= min_chunk {
+        return tree_resistances(tree, pairs);
+    }
+    let mut out = vec![0.0f64; pairs.len()];
+    let chunk = tracered_par::chunk_size(pairs.len(), threads, min_chunk);
+    tracered_par::par_chunks_mut(
+        &mut out,
+        chunk,
+        threads,
+        || (),
+        |_, start, slice| {
+            let sub = &pairs[start..start + slice.len()];
+            let lcas = offline_lca(tree, sub);
+            for ((slot, &(p, q)), &l) in slice.iter_mut().zip(sub.iter()).zip(lcas.iter()) {
+                *slot = tree.resistance_between(p, q, l);
+            }
+        },
+    );
+    out
 }
 
 /// Total *stretch* of a spanning tree of `g`: `Σ_e w_e · R_T(e)` over all
@@ -126,14 +160,7 @@ mod tests {
     fn sample() -> (Graph, RootedTree) {
         let g = Graph::from_edges(
             7,
-            &[
-                (0, 1, 1.0),
-                (0, 2, 1.0),
-                (1, 3, 1.0),
-                (1, 4, 1.0),
-                (2, 5, 1.0),
-                (3, 6, 1.0),
-            ],
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (1, 4, 1.0), (2, 5, 1.0), (3, 6, 1.0)],
         )
         .unwrap();
         let t = RootedTree::build(&g, &[0, 1, 2, 3, 4, 5], 0).unwrap();
@@ -174,8 +201,7 @@ mod tests {
         let pairs = [(6, 5), (3, 4), (6, 4)];
         let rs = tree_resistances(&t, &pairs);
         for (k, &(p, q)) in pairs.iter().enumerate() {
-            let manual: f64 =
-                t.path_edges(p, q).iter().map(|&id| 1.0 / g.edge(id).weight).sum();
+            let manual: f64 = t.path_edges(p, q).iter().map(|&id| 1.0 / g.edge(id).weight).sum();
             assert!((rs[k] - manual).abs() < 1e-12, "pair ({p},{q})");
         }
     }
@@ -206,11 +232,8 @@ mod tests {
     fn stretch_counts_off_tree_paths() {
         // Cycle 0-1-2-0 with unit weights, tree = {(0,1), (1,2)}:
         // stretch = 1 + 1 + 1·(R_T(0,2) = 2) = 4.
-        let g = crate::graph::Graph::from_edges(
-            3,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)],
-        )
-        .unwrap();
+        let g =
+            crate::graph::Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
         let t = RootedTree::build(&g, &[0, 1], 0).unwrap();
         assert!((total_stretch(&g, &t) - 4.0).abs() < 1e-12);
     }
@@ -220,5 +243,28 @@ mod tests {
         let (_, t) = sample();
         let ans = offline_lca(&t, &[(6, 5), (6, 5), (6, 5)]);
         assert_eq!(ans, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn chunked_resistances_match_serial_for_all_thread_counts() {
+        // Tree big enough to clear the chunking threshold, queries
+        // spanning distant subtrees.
+        let n = 5_000;
+        let edges: Vec<(usize, usize, f64)> =
+            (1..n).map(|i| (i / 2, i, 1.0 + (i % 9) as f64 * 0.3)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let ids: Vec<usize> = (0..n - 1).collect();
+        let t = RootedTree::build(&g, &ids, 0).unwrap();
+        let pairs: Vec<(usize, usize)> =
+            (0..20_000).map(|k| ((k * 37) % n, (k * 101 + 13) % n)).collect();
+        let serial = tree_resistances(&t, &pairs);
+        for threads in [1usize, 2, 4, 8] {
+            let par = tree_resistances_threads(&t, &pairs, threads);
+            assert_eq!(serial.len(), par.len());
+            assert!(
+                serial.iter().zip(par.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "thread count {threads} changed resistances"
+            );
+        }
     }
 }

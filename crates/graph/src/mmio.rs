@@ -69,10 +69,9 @@ pub fn read_graph<R: Read>(reader: R) -> Result<MmGraph, GraphError> {
 
     // Size line (skipping comments).
     let (n, _m, nnz) = loop {
-        let (i, l) = lines.next().ok_or(GraphError::ParseError {
-            line: lineno + 1,
-            what: "missing size line".into(),
-        })?;
+        let (i, l) = lines
+            .next()
+            .ok_or(GraphError::ParseError { line: lineno + 1, what: "missing size line".into() })?;
         lineno = i + 1;
         let l = l?;
         let t = l.trim();
@@ -205,16 +204,9 @@ pub fn read_graph_path<P: AsRef<Path>>(path: P) -> Result<MmGraph, GraphError> {
 ///
 /// Returns [`GraphError::Io`] on write failure and
 /// [`GraphError::NodeOutOfBounds`] if `slack` has the wrong length.
-pub fn write_laplacian<W: Write>(
-    mut w: W,
-    g: &Graph,
-    slack: &[f64],
-) -> Result<(), GraphError> {
+pub fn write_laplacian<W: Write>(mut w: W, g: &Graph, slack: &[f64]) -> Result<(), GraphError> {
     if slack.len() != g.num_nodes() {
-        return Err(GraphError::NodeOutOfBounds {
-            node: slack.len(),
-            num_nodes: g.num_nodes(),
-        });
+        return Err(GraphError::NodeOutOfBounds { node: slack.len(), num_nodes: g.num_nodes() });
     }
     let n = g.num_nodes();
     let nnz = n + g.num_edges();
@@ -293,7 +285,8 @@ mod tests {
 
     #[test]
     fn roundtrip_write_read() {
-        let g = crate::gen::grid2d(3, 3, crate::gen::WeightProfile::Uniform { lo: 0.5, hi: 2.0 }, 1);
+        let g =
+            crate::gen::grid2d(3, 3, crate::gen::WeightProfile::Uniform { lo: 0.5, hi: 2.0 }, 1);
         let slack: Vec<f64> = (0..9).map(|i| i as f64 * 0.1).collect();
         let mut buf = Vec::new();
         write_laplacian(&mut buf, &g, &slack).unwrap();

@@ -52,10 +52,7 @@ pub fn spanning_tree(g: &Graph, kind: TreeKind) -> Result<SpanningTree, GraphErr
         TreeKind::MaxWeight => g.edges().iter().map(|e| e.weight).collect(),
         TreeKind::MaxEffectiveWeight => {
             let deg = g.weighted_degrees();
-            g.edges()
-                .iter()
-                .map(|e| e.weight * (1.0 / deg[e.u] + 1.0 / deg[e.v]))
-                .collect()
+            g.edges().iter().map(|e| e.weight * (1.0 / deg[e.u] + 1.0 / deg[e.v])).collect()
         }
     };
     let mut order: Vec<usize> = (0..g.num_edges()).collect();
@@ -66,10 +63,7 @@ pub fn spanning_tree(g: &Graph, kind: TreeKind) -> Result<SpanningTree, GraphErr
             .partial_cmp(&scores[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| {
-                g.edge(b)
-                    .weight
-                    .partial_cmp(&g.edge(a).weight)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                g.edge(b).weight.partial_cmp(&g.edge(a).weight).unwrap_or(std::cmp::Ordering::Equal)
             })
             .then_with(|| a.cmp(&b))
     });
@@ -95,8 +89,7 @@ mod tests {
     use super::*;
 
     fn cycle(n: usize) -> Graph {
-        let mut edges: Vec<(usize, usize, f64)> =
-            (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
         edges.push((n - 1, 0, 1.0));
         Graph::from_edges(n, &edges).unwrap()
     }

@@ -205,8 +205,7 @@ impl RootedTree {
     /// Tree effective resistance between `p` and `q` given their LCA:
     /// `R(p, q) = r(p) + r(q) − 2 r(lca)`.
     pub fn resistance_between(&self, p: usize, q: usize, lca: usize) -> f64 {
-        self.resistance_to_root[p] + self.resistance_to_root[q]
-            - 2.0 * self.resistance_to_root[lca]
+        self.resistance_to_root[p] + self.resistance_to_root[q] - 2.0 * self.resistance_to_root[lca]
     }
 
     /// Edge ids of the unique tree path from `p` to `q` (in order from `p`
@@ -288,7 +287,7 @@ mod tests {
         let (g, t) = sample();
         let path = t.path_edges(3, 4);
         assert_eq!(path.len(), 3); // 3→2, 2→1, 1→4
-        // Walk the path and confirm it leads from 3 to 4.
+                                   // Walk the path and confirm it leads from 3 to 4.
         let mut cur = 3usize;
         for &eid in &path {
             cur = g.edge(eid).other(cur);
@@ -322,20 +321,14 @@ mod tests {
     #[test]
     fn wrong_edge_count_rejected() {
         let (g, _) = sample();
-        assert!(matches!(
-            RootedTree::build(&g, &[0, 1], 0),
-            Err(GraphError::NotATree { .. })
-        ));
+        assert!(matches!(RootedTree::build(&g, &[0, 1], 0), Err(GraphError::NotATree { .. })));
     }
 
     #[test]
     fn non_spanning_edges_rejected() {
         // A cycle among nodes 0-1-2 leaves 3, 4 unreached.
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0)]).unwrap();
         assert!(matches!(
             RootedTree::build(&g, &[0, 1, 2, 3], 0),
             Err(GraphError::NotATree { .. })

@@ -1,0 +1,285 @@
+//! Dependency-free parallel runtime for the sparsification hot paths.
+//!
+//! The container builds fully offline, so instead of `rayon` this crate
+//! provides a small **work-stealing chunk scheduler** on top of
+//! `std::thread::scope`: a parallel region splits its index space into
+//! chunks (several per worker), pushes them onto a shared queue, and
+//! spawned workers repeatedly steal the next unclaimed chunk until the
+//! queue drains. Dynamic stealing keeps workers busy even when per-item
+//! cost is wildly skewed (β-layer BFS neighbourhoods vary by orders of
+//! magnitude across candidate edges).
+//!
+//! # Determinism contract
+//!
+//! Every entry point partitions its **output** slice into disjoint
+//! chunks and computes each element from read-only shared inputs, so
+//! results are bit-identical for every thread count — including the
+//! serial path, which runs the exact same per-chunk closure in chunk
+//! order on the calling thread. Reductions ([`par_reduce_f64`]) fix the
+//! chunk decomposition independently of the thread count and combine
+//! partial results in chunk order, so they are deterministic for a given
+//! chunk size (though not bit-identical to an unchunked serial fold).
+//!
+//! Per-worker scratch state (BFS stamps, voltage arrays, …) is created
+//! once per worker by a caller-supplied factory, replicating the serial
+//! code's reuse pattern without sharing mutable state across threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Resolves a requested thread count: `Some(t)` is honoured (min 1),
+/// `None` asks the OS for the available parallelism.
+pub fn effective_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(t) => t.max(1),
+        None => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+/// Picks a chunk size giving each worker several chunks to steal while
+/// keeping chunks at least `min_chunk` long (amortises scratch setup and
+/// queue traffic for cheap per-item work).
+pub fn chunk_size(len: usize, threads: usize, min_chunk: usize) -> usize {
+    if len == 0 {
+        return min_chunk.max(1);
+    }
+    let target = len.div_ceil(threads.max(1) * 4);
+    target.max(min_chunk.max(1)).min(len)
+}
+
+/// Runs `body` over disjoint chunks of `out` on `threads` workers, each
+/// worker owning one scratch value from `scratch`.
+///
+/// `body(scratch, start, chunk)` must fill `chunk` (which aliases
+/// `out[start..start + chunk.len()]`) from read-only captured state; the
+/// scheduler guarantees every element of `out` is visited exactly once.
+/// With `threads <= 1` the chunks run sequentially on the calling thread
+/// with a single scratch value — the same code path, so parallel and
+/// serial results are bit-identical.
+pub fn par_chunks_mut<T, S, B, F>(out: &mut [T], chunk: usize, threads: usize, scratch: B, body: F)
+where
+    T: Send,
+    B: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    if threads <= 1 || out.len() <= chunk {
+        let mut s = scratch();
+        let mut start = 0;
+        for piece in out.chunks_mut(chunk) {
+            let len = piece.len();
+            body(&mut s, start, piece);
+            start += len;
+        }
+        return;
+    }
+    let jobs: Vec<(usize, &mut [T])> = {
+        let mut start = 0;
+        out.chunks_mut(chunk)
+            .map(|piece| {
+                let job = (start, piece);
+                start += job.1.len();
+                job
+            })
+            .collect()
+    };
+    let workers = threads.min(jobs.len());
+    let queue = Mutex::new(jobs.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut s = scratch();
+                loop {
+                    let job = queue.lock().expect("worker panicked holding job queue").next();
+                    match job {
+                        Some((start, piece)) => body(&mut s, start, piece),
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Runs `body` over paired disjoint chunks of two equally long slices —
+/// the shape of fused vector updates (`x += α p`, `r -= α Ap`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn par_chunks2_mut<A, B, F>(a: &mut [A], b: &mut [B], chunk: usize, threads: usize, body: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "paired slices must have equal length");
+    let chunk = chunk.max(1);
+    if threads <= 1 || a.len() <= chunk {
+        let mut start = 0;
+        for (pa, pb) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)) {
+            let len = pa.len();
+            body(start, pa, pb);
+            start += len;
+        }
+        return;
+    }
+    let jobs: Vec<(usize, &mut [A], &mut [B])> = {
+        let mut start = 0;
+        a.chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .map(|(pa, pb)| {
+                let job = (start, pa, pb);
+                start += job.1.len();
+                job
+            })
+            .collect()
+    };
+    let workers = threads.min(jobs.len());
+    let queue = Mutex::new(jobs.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("worker panicked holding job queue").next();
+                match job {
+                    Some((start, pa, pb)) => body(start, pa, pb),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Chunked deterministic sum reduction: `Σ_i body(i)` over `0..len`,
+/// computed as per-chunk partial sums combined in chunk order.
+///
+/// The chunk decomposition depends only on `chunk`, never on `threads`,
+/// so the result is identical for every thread count.
+pub fn par_reduce_f64<F>(len: usize, chunk: usize, threads: usize, body: F) -> f64
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let chunk = chunk.max(1);
+    let nchunks = len.div_ceil(chunk);
+    let mut partials = vec![0.0f64; nchunks];
+    par_chunks_mut(
+        &mut partials,
+        1,
+        threads,
+        || (),
+        |_, ci, slot| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(len);
+            slot[0] = body(lo, hi);
+        },
+    );
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(effective_threads(Some(4)), 4);
+        assert_eq!(effective_threads(Some(0)), 1);
+        assert!(effective_threads(None) >= 1);
+    }
+
+    #[test]
+    fn chunk_size_bounds() {
+        assert_eq!(chunk_size(0, 4, 8), 8);
+        let c = chunk_size(1000, 4, 1);
+        assert!((1..=1000).contains(&c));
+        assert!(chunk_size(10, 4, 64) == 10);
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial_exactly() {
+        let f = |s: &mut u64, start: usize, out: &mut [f64]| {
+            for (off, v) in out.iter_mut().enumerate() {
+                *s += 1; // scratch is per-worker; value independence matters
+                let i = start + off;
+                *v = (i as f64).sin() * (i as f64 + 0.5).sqrt();
+            }
+        };
+        let mut serial = vec![0.0; 1023];
+        par_chunks_mut(&mut serial, 64, 1, || 0u64, f);
+        for threads in [2, 3, 8] {
+            let mut par = vec![0.0; 1023];
+            par_chunks_mut(&mut par, 64, threads, || 0u64, f);
+            assert!(
+                serial.iter().zip(par.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "thread count {threads} changed results"
+            );
+        }
+    }
+
+    #[test]
+    fn every_element_visited_exactly_once() {
+        let mut counts = vec![0u32; 509];
+        par_chunks_mut(
+            &mut counts,
+            7,
+            5,
+            || (),
+            |_, _, out| {
+                for v in out.iter_mut() {
+                    *v += 1;
+                }
+            },
+        );
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn paired_chunks_stay_aligned() {
+        let n = 777;
+        let p: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut x = vec![0.0f64; n];
+        let mut r = vec![100.0f64; n];
+        par_chunks2_mut(&mut x, &mut r, 32, 4, |start, xs, rs| {
+            for off in 0..xs.len() {
+                xs[off] += 2.0 * p[start + off];
+                rs[off] -= p[start + off];
+            }
+        });
+        for i in 0..n {
+            assert_eq!(x[i], 2.0 * i as f64);
+            assert_eq!(r[i], 100.0 - i as f64);
+        }
+    }
+
+    #[test]
+    fn reduction_is_thread_count_invariant() {
+        let body = |lo: usize, hi: usize| (lo..hi).map(|i| 1.0 / (1.0 + i as f64)).sum::<f64>();
+        let base = par_reduce_f64(10_000, 128, 1, body);
+        for threads in [2, 4, 7] {
+            let v = par_reduce_f64(10_000, 128, threads, body);
+            assert_eq!(base.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut empty: Vec<f64> = vec![];
+        par_chunks_mut(&mut empty, 16, 4, || (), |_, _, _| panic!("no chunks expected"));
+        assert_eq!(par_reduce_f64(0, 16, 4, |_, _| 1.0), 0.0);
+        let mut one = vec![0.0f64];
+        par_chunks_mut(
+            &mut one,
+            16,
+            4,
+            || (),
+            |_, start, out| {
+                assert_eq!(start, 0);
+                out[0] = 42.0;
+            },
+        );
+        assert_eq!(one[0], 42.0);
+    }
+}

@@ -70,17 +70,13 @@ fn shifted_laplacian(g: &Graph) -> (CscMatrix, f64) {
 fn split(g: &Graph, fiedler: Vec<f64>, inner_iterations: usize) -> Bisection {
     let n = g.num_nodes();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order
+        .sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).unwrap_or(std::cmp::Ordering::Equal));
     let mut side = vec![false; n];
     for &i in order.iter().skip(n / 2) {
         side[i] = true;
     }
-    let cut_weight = g
-        .edges()
-        .iter()
-        .filter(|e| side[e.u] != side[e.v])
-        .map(|e| e.weight)
-        .sum();
+    let cut_weight = g.edges().iter().filter(|e| side[e.u] != side[e.v]).map(|e| e.weight).sum();
     let balance = side.iter().filter(|&&s| s).count() as f64 / n.max(1) as f64;
     Bisection { side, fiedler, cut_weight, balance, inner_iterations }
 }
@@ -181,12 +177,8 @@ pub fn recursive_bisection(
     let all: Vec<usize> = (0..g.num_nodes()).collect();
     let mut next_part = 0usize;
     partition_rec(g, &all, k, steps, seed, &mut assignment, &mut next_part)?;
-    let cut_weight = g
-        .edges()
-        .iter()
-        .filter(|e| assignment[e.u] != assignment[e.v])
-        .map(|e| e.weight)
-        .sum();
+    let cut_weight =
+        g.edges().iter().filter(|e| assignment[e.u] != assignment[e.v]).map(|e| e.weight).sum();
     Ok(KWayPartition { assignment, parts: next_part, cut_weight })
 }
 
@@ -222,9 +214,7 @@ fn partition_rec(
         let res = fiedler_vector(sub.num_nodes(), |b| (solver.solve(b), 0), steps, seed);
         let mut order: Vec<usize> = (0..sub.num_nodes()).collect();
         order.sort_by(|&a, &b| {
-            res.vector[a]
-                .partial_cmp(&res.vector[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            res.vector[a].partial_cmp(&res.vector[b]).unwrap_or(std::cmp::Ordering::Equal)
         });
         let left: Vec<usize> = order[..left_target].iter().map(|&i| map[i]).collect();
         let right: Vec<usize> = order[left_target..].iter().map(|&i| map[i]).collect();
@@ -235,11 +225,8 @@ fn partition_rec(
         let mut left = Vec::new();
         let mut right = Vec::new();
         for comp in sub.components() {
-            let target = if left.len() <= left_target.saturating_sub(1) {
-                &mut left
-            } else {
-                &mut right
-            };
+            let target =
+                if left.len() <= left_target.saturating_sub(1) { &mut left } else { &mut right };
             target.extend(comp.iter().map(|&i| map[i]));
         }
         if left.is_empty() {
@@ -277,11 +264,14 @@ mod tests {
 
     #[test]
     fn grid_bisection_is_balanced_contiguous_cut() {
-        let g = grid2d(10, 10, WeightProfile::Unit, 1);
+        // Rectangular grid: λ₂ is simple (a square grid's Fiedler pair is
+        // degenerate, making the cut direction depend on the random
+        // start), so every seed converges to the across-the-short-axis cut.
+        let g = grid2d(10, 9, WeightProfile::Unit, 1);
         let b = bisect_direct(&g, 8, 3).unwrap();
         assert!((b.balance - 0.5).abs() < 0.02);
-        // Optimal cut of a 10×10 grid is 10; spectral should be close.
-        assert!(b.cut_weight <= 14.0, "cut weight {}", b.cut_weight);
+        // Optimal cut of a 10×9 grid is 9; spectral should be close.
+        assert!(b.cut_weight <= 12.0, "cut weight {}", b.cut_weight);
     }
 
     #[test]
@@ -325,16 +315,17 @@ mod tests {
 
     #[test]
     fn four_way_partition_of_grid_is_balanced_quadrants() {
-        let g = grid2d(12, 12, WeightProfile::Unit, 4);
+        // Rectangular at every recursion level so each Fiedler problem has
+        // a simple λ₂ (12×10 splits into 6×10 halves, then 6×5 quarters).
+        let g = grid2d(12, 10, WeightProfile::Unit, 4);
         let p = recursive_bisection(&g, 4, 8, 1).unwrap();
         assert_eq!(p.parts, 4);
-        assert_eq!(p.part_sizes(), vec![36; 4]);
-        // Quadrant cut of a 12×12 grid costs 24; allow spectral slack.
-        assert!(p.cut_weight <= 40.0, "cut weight {}", p.cut_weight);
+        assert_eq!(p.part_sizes(), vec![30; 4]);
+        // Quadrant cut of a 12×10 grid costs 10 + 6 + 6 = 22; allow slack.
+        assert!(p.cut_weight <= 32.0, "cut weight {}", p.cut_weight);
         // Every part must be contiguous-ish: its induced subgraph connected.
         for part in 0..4 {
-            let nodes: Vec<usize> =
-                (0..144).filter(|&v| p.assignment[v] == part).collect();
+            let nodes: Vec<usize> = (0..120).filter(|&v| p.assignment[v] == part).collect();
             let (sub, _) = g.induced_subgraph(&nodes);
             assert!(sub.is_connected(), "part {part} is disconnected");
         }

@@ -54,10 +54,7 @@ impl PowerGrid {
             capacitance.iter().all(|&c| c.is_finite() && c >= 0.0),
             "capacitances must be finite and non-negative"
         );
-        assert!(
-            sources.iter().all(|s| s.node < n),
-            "source nodes must be in bounds"
-        );
+        assert!(sources.iter().all(|s| s.node < n), "source nodes must be in bounds");
         assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
         PowerGrid { graph, pad_conductance, capacitance, sources, vdd }
     }
@@ -141,8 +138,7 @@ impl PowerGrid {
 
     /// DC right-hand side: `b = G_pad·VDD − I(0)`.
     pub fn dc_rhs(&self) -> Vec<f64> {
-        let mut b: Vec<f64> =
-            self.pad_conductance.iter().map(|&g| g * self.vdd).collect();
+        let mut b: Vec<f64> = self.pad_conductance.iter().map(|&g| g * self.vdd).collect();
         for s in &self.sources {
             b[s.node] -= s.waveform.value(0.0);
         }

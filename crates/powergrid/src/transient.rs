@@ -223,10 +223,7 @@ pub fn simulate_direct(
     let n = pg.num_nodes();
     assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
     let h = cfg.fixed_step.unwrap_or_else(|| {
-        pg.sources()
-            .iter()
-            .map(|s| s.waveform.min_breakpoint_gap())
-            .fold(cfg.max_step, f64::min)
+        pg.sources().iter().map(|s| s.waveform.min_breakpoint_gap()).fold(cfg.max_step, f64::min)
     });
     let t_factor = Instant::now();
     let a = system_matrix(pg, h, cfg.scheme);
@@ -239,8 +236,7 @@ pub fn simulate_direct(
     let mut gv = vec![0.0; n];
     let mut vnext = vec![0.0; n];
     let mut times = vec![0.0];
-    let mut probes: Vec<Vec<f64>> =
-        probe_nodes.iter().map(|&p| vec![v[p]]).collect();
+    let mut probes: Vec<Vec<f64>> = probe_nodes.iter().map(|&p| vec![v[p]]).collect();
     let t_solve = Instant::now();
     let mut steps = 0usize;
     let mut t = 0.0;
@@ -381,7 +377,8 @@ pub fn simulate_pcg(
     let mut rhs = vec![0.0; n];
     let mut times = vec![grid[0]];
     let mut probes: Vec<Vec<f64>> = probe_nodes.iter().map(|&p| vec![v[p]]).collect();
-    let opts = PcgOptions { rel_tolerance: cfg.pcg_tol, max_iterations: 10_000 };
+    let opts =
+        PcgOptions { rel_tolerance: cfg.pcg_tol, max_iterations: 10_000, ..Default::default() };
     let g_matrix = pg.conductance_matrix();
     // For the trapezoidal rule the step matrix is G/2 + C/h.
     let g_for_system = match cfg.scheme {

@@ -55,12 +55,9 @@ impl PulseWaveform {
             out.push(0.0);
         }
         while cycle_start <= t_end {
-            for offset in [
-                0.0,
-                self.rise,
-                self.rise + self.width,
-                self.rise + self.width + self.fall,
-            ] {
+            for offset in
+                [0.0, self.rise, self.rise + self.width, self.rise + self.width + self.fall]
+            {
                 let t = cycle_start + offset;
                 if t <= t_end {
                     out.push(t);
@@ -154,10 +151,7 @@ mod tests {
         let p = pulse();
         let bps = p.breakpoints(1e-9);
         for expect in [1e-10, 1.5e-10, 3.5e-10, 4e-10] {
-            assert!(
-                bps.iter().any(|&b| (b - expect).abs() < 1e-16),
-                "missing breakpoint {expect}"
-            );
+            assert!(bps.iter().any(|&b| (b - expect).abs() < 1e-16), "missing breakpoint {expect}");
         }
     }
 

@@ -129,11 +129,8 @@ mod tests {
     #[test]
     fn singular_matrix_is_rejected() {
         let g = tri_mesh(4, 4, WeightProfile::Unit, 0);
-        let a = laplacian_with_shifts(&g, &vec![0.0; 16]);
-        assert!(matches!(
-            DirectSolver::new(&a),
-            Err(SparseError::NotPositiveDefinite { .. })
-        ));
+        let a = laplacian_with_shifts(&g, &[0.0; 16]);
+        assert!(matches!(DirectSolver::new(&a), Err(SparseError::NotPositiveDefinite { .. })));
     }
 
     #[test]

@@ -123,7 +123,7 @@ mod tests {
         }
         edges.push((0, 6, 0.01));
         let g = Graph::from_edges(12, &edges).unwrap();
-        let l = laplacian_with_shifts(&g, &vec![0.005; 12]);
+        let l = laplacian_with_shifts(&g, &[0.005; 12]);
         let solver = DirectSolver::new(&l).unwrap();
         let res = fiedler_vector(12, |b| (solver.solve(b), 0), 40, 3);
         let v = &res.vector;

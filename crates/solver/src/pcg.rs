@@ -1,6 +1,6 @@
 //! Preconditioned conjugate gradient for SPD systems.
 
-use tracered_sparse::CscMatrix;
+use tracered_sparse::{par_dot, par_xpby, CscMatrix};
 
 use crate::precond::Preconditioner;
 
@@ -13,11 +13,18 @@ pub struct PcgOptions {
     pub rel_tolerance: f64,
     /// Iteration cap.
     pub max_iterations: usize,
+    /// Worker threads for the SpMV and vector kernels. `1` (the
+    /// default) preserves the exact serial arithmetic; larger values
+    /// use the parallel symmetric matvec and chunked reductions of
+    /// [`tracered_sparse`] — deterministic per thread-count-independent
+    /// chunking, but rounded differently than the serial fold, so
+    /// iteration counts may shift by a step.
+    pub threads: usize,
 }
 
 impl Default for PcgOptions {
     fn default() -> Self {
-        PcgOptions { rel_tolerance: 1e-3, max_iterations: 10_000 }
+        PcgOptions { rel_tolerance: 1e-3, max_iterations: 10_000, threads: 1 }
     }
 }
 
@@ -26,6 +33,12 @@ impl PcgOptions {
     /// cap.
     pub fn with_tolerance(rel_tolerance: f64) -> Self {
         PcgOptions { rel_tolerance, ..Default::default() }
+    }
+
+    /// Sets the worker-thread count for SpMV and vector kernels.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -74,7 +87,31 @@ pub fn pcg_with_guess<P: Preconditioner>(
     let n = a.ncols();
     assert_eq!(a.nrows(), n, "matrix must be square");
     assert_eq!(b.len(), n, "rhs length must equal n");
-    let bnorm = norm2(b);
+    let t = options.threads.max(1);
+    // The parallel SpMV reads the matrix row-wise, which computes Aᵀx —
+    // wrong for asymmetric input. PCG requires symmetry on every path
+    // (the serial method also silently misbehaves without it), so this
+    // is a debug-build aid, checked once per solve with a value
+    // tolerance rather than bit equality (assembly order may differ
+    // across the two triangles by an ulp).
+    debug_assert!(
+        t <= 1 || a.is_symmetric_within(1e-9 * matrix_scale(a)),
+        "parallel PCG requires a symmetric matrix"
+    );
+    // Kernel dispatch: t == 1 reproduces the historical serial arithmetic
+    // exactly; t > 1 routes through the parallel symmetric SpMV (PCG
+    // already requires a symmetric matrix) and chunked vector kernels.
+    let spmv = |v: &[f64], out: &mut [f64]| {
+        if t <= 1 {
+            a.matvec_into(v, out);
+        } else {
+            a.sym_matvec_into_threads(v, out, t);
+        }
+    };
+    let dot_t = |u: &[f64], v: &[f64]| if t <= 1 { dot(u, v) } else { par_dot(u, v, t) };
+    let norm_t = |v: &[f64]| dot_t(v, v).sqrt();
+
+    let bnorm = norm_t(b);
     if bnorm == 0.0 {
         return PcgSolution { x: vec![0.0; n], iterations: 0, rel_residual: 0.0, converged: true };
     }
@@ -87,41 +124,57 @@ pub fn pcg_with_guess<P: Preconditioner>(
     };
     // r = b − A x
     let mut r = vec![0.0; n];
-    a.matvec_into(&x, &mut r);
+    spmv(&x, &mut r);
     for (ri, &bi) in r.iter_mut().zip(b.iter()) {
         *ri = bi - *ri;
     }
     let mut z = vec![0.0; n];
     preconditioner.apply(&r, &mut z);
     let mut p = z.clone();
-    let mut rz: f64 = dot(&r, &z);
+    let mut rz: f64 = dot_t(&r, &z);
     let mut ap = vec![0.0; n];
-    let mut rel = norm2(&r) / bnorm;
+    let mut rel = norm_t(&r) / bnorm;
     let mut iterations = 0;
     while rel > options.rel_tolerance && iterations < options.max_iterations {
-        a.matvec_into(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        spmv(&p, &mut ap);
+        let pap = dot_t(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             break; // matrix not SPD along p; bail out with best iterate
         }
         let alpha = rz / pap;
-        for ((xi, &pi), (ri, &api)) in
-            x.iter_mut().zip(p.iter()).zip(r.iter_mut().zip(ap.iter()))
-        {
-            *xi += alpha * pi;
-            *ri -= alpha * api;
+        if t <= 1 {
+            for ((xi, &pi), (ri, &api)) in
+                x.iter_mut().zip(p.iter()).zip(r.iter_mut().zip(ap.iter()))
+            {
+                *xi += alpha * pi;
+                *ri -= alpha * api;
+            }
+        } else {
+            // Fused update: one parallel region and one memory pass
+            // over both vectors instead of two axpy rounds.
+            let chunk = tracered_par::chunk_size(n, t, 4096);
+            tracered_par::par_chunks2_mut(&mut x, &mut r, chunk, t, |start, xs, rs| {
+                for off in 0..xs.len() {
+                    xs[off] += alpha * p[start + off];
+                    rs[off] -= alpha * ap[start + off];
+                }
+            });
         }
         iterations += 1;
-        rel = norm2(&r) / bnorm;
+        rel = norm_t(&r) / bnorm;
         if rel <= options.rel_tolerance {
             break;
         }
         preconditioner.apply(&r, &mut z);
-        let rz_next = dot(&r, &z);
+        let rz_next = dot_t(&r, &z);
         let beta = rz_next / rz;
         rz = rz_next;
-        for (pi, &zi) in p.iter_mut().zip(z.iter()) {
-            *pi = zi + beta * *pi;
+        if t <= 1 {
+            for (pi, &zi) in p.iter_mut().zip(z.iter()) {
+                *pi = zi + beta * *pi;
+            }
+        } else {
+            par_xpby(&mut p, beta, &z, t);
         }
     }
     PcgSolution { x, iterations, rel_residual: rel, converged: rel <= options.rel_tolerance }
@@ -131,6 +184,13 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
+/// Largest absolute stored value — the natural scale for the relative
+/// symmetry tolerance in the debug-build check above.
+fn matrix_scale(a: &CscMatrix) -> f64 {
+    a.values().iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
 fn norm2(v: &[f64]) -> f64 {
     dot(v, v).sqrt()
 }
@@ -199,7 +259,7 @@ mod tests {
     #[test]
     fn iteration_cap_is_respected() {
         let (a, b) = system();
-        let opts = PcgOptions { rel_tolerance: 1e-14, max_iterations: 3 };
+        let opts = PcgOptions { rel_tolerance: 1e-14, max_iterations: 3, ..Default::default() };
         let sol = pcg(&a, &b, &IdentityPreconditioner, &opts);
         assert!(!sol.converged);
         assert_eq!(sol.iterations, 3);

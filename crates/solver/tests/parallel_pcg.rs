@@ -1,0 +1,74 @@
+//! Regression tests for PCG running on the parallel SpMV / vector
+//! kernels: convergence must be preserved, solutions must agree with the
+//! serial path to solver tolerance, and iteration counts must not blow
+//! up (the chunked reductions only change rounding).
+
+use tracered_core::{sparsify, Method, SparsifyConfig};
+use tracered_graph::gen::{grid2d, tri_mesh, WeightProfile};
+use tracered_graph::laplacian::laplacian_with_shifts;
+use tracered_solver::pcg::{pcg, PcgOptions};
+use tracered_solver::precond::{CholPreconditioner, JacobiPreconditioner};
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect()
+}
+
+#[test]
+fn parallel_pcg_converges_with_jacobi() {
+    let g = grid2d(40, 40, WeightProfile::Unit, 2);
+    let n = g.num_nodes();
+    let a = laplacian_with_shifts(&g, &vec![0.05; n]);
+    let b = rhs(n);
+    let pre = JacobiPreconditioner::from_matrix(&a).unwrap();
+    let serial = pcg(&a, &b, &pre, &PcgOptions::with_tolerance(1e-8));
+    assert!(serial.converged);
+    for threads in [2usize, 4, 8] {
+        let par = pcg(&a, &b, &pre, &PcgOptions::with_tolerance(1e-8).threads(threads));
+        assert!(par.converged, "{threads}-thread PCG failed to converge");
+        assert!(a.residual_inf_norm(&par.x, &b) < 1e-5, "{threads}-thread PCG residual too large");
+        // Chunked reductions only change rounding: iteration counts must
+        // stay within a couple of steps of the serial path.
+        let diff = par.iterations.abs_diff(serial.iterations);
+        assert!(
+            diff <= 3,
+            "iteration count moved from {} to {} at {threads} threads",
+            serial.iterations,
+            par.iterations
+        );
+        // Solutions agree to solver tolerance.
+        let max_diff =
+            serial.x.iter().zip(par.x.iter()).map(|(s, p)| (s - p).abs()).fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-5, "solutions diverged by {max_diff} at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_pcg_with_sparsifier_preconditioner_matches_serial_iterations() {
+    // The paper's end use: sparsifier-preconditioned PCG on a mesh.
+    let g = tri_mesh(24, 24, WeightProfile::LogUniform { lo: 0.3, hi: 3.0 }, 7);
+    let sp = sparsify(&g, &SparsifyConfig::new(Method::TraceReduction)).unwrap();
+    let lg = sp.graph_laplacian(&g);
+    let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap();
+    let b = rhs(g.num_nodes());
+    let serial = pcg(&lg, &b, &pre, &PcgOptions::with_tolerance(1e-6));
+    assert!(serial.converged && serial.iterations > 0);
+    let par = pcg(&lg, &b, &pre, &PcgOptions::with_tolerance(1e-6).threads(4));
+    assert!(par.converged);
+    assert!(par.iterations.abs_diff(serial.iterations) <= 2);
+    assert!(lg.residual_inf_norm(&par.x, &b) < 1e-4);
+}
+
+#[test]
+fn threads_builder_floors_at_one() {
+    let opts = PcgOptions::default().threads(0);
+    assert_eq!(opts.threads, 1);
+    // threads = 1 through the builder is the exact serial path.
+    let g = grid2d(10, 10, WeightProfile::Unit, 1);
+    let a = laplacian_with_shifts(&g, &vec![0.05; 100]);
+    let b = rhs(100);
+    let pre = JacobiPreconditioner::from_matrix(&a).unwrap();
+    let s1 = pcg(&a, &b, &pre, &PcgOptions::with_tolerance(1e-9));
+    let s2 = pcg(&a, &b, &pre, &PcgOptions::with_tolerance(1e-9).threads(1));
+    assert_eq!(s1.iterations, s2.iterations);
+    assert!(s1.x.iter().zip(s2.x.iter()).all(|(a, b)| a.to_bits() == b.to_bits()));
+}

@@ -25,7 +25,7 @@ proptest! {
     fn all_preconditioners_reach_the_same_solution((g, b) in arb_system()) {
         let n = g.num_nodes();
         let a = laplacian_with_shifts(&g, &vec![0.05; n]);
-        let opts = PcgOptions { rel_tolerance: 1e-10, max_iterations: 10_000 };
+        let opts = PcgOptions { rel_tolerance: 1e-10, max_iterations: 10_000, ..Default::default() };
         let reference = DirectSolver::new(&a).unwrap().solve(&b);
         let x_id = pcg(&a, &b, &IdentityPreconditioner, &opts).x;
         let x_ja = pcg(&a, &b, &JacobiPreconditioner::from_matrix(&a).unwrap(), &opts).x;
@@ -43,7 +43,7 @@ proptest! {
     fn ic0_never_needs_more_iterations_than_plain_cg((g, b) in arb_system()) {
         let n = g.num_nodes();
         let a = laplacian_with_shifts(&g, &vec![0.02; n]);
-        let opts = PcgOptions { rel_tolerance: 1e-8, max_iterations: 10_000 };
+        let opts = PcgOptions { rel_tolerance: 1e-8, max_iterations: 10_000, ..Default::default() };
         let plain = pcg(&a, &b, &IdentityPreconditioner, &opts);
         let ic = pcg(&a, &b, &IcPreconditioner::from_matrix(&a).unwrap(), &opts);
         prop_assert!(ic.converged);
@@ -57,7 +57,7 @@ proptest! {
     fn warm_start_from_exact_solution_is_free((g, b) in arb_system()) {
         let n = g.num_nodes();
         let a = laplacian_with_shifts(&g, &vec![0.05; n]);
-        let opts = PcgOptions { rel_tolerance: 1e-9, max_iterations: 10_000 };
+        let opts = PcgOptions { rel_tolerance: 1e-9, max_iterations: 10_000, ..Default::default() };
         let x = DirectSolver::new(&a).unwrap().solve(&b);
         let warm = pcg_with_guess(&a, &b, Some(&x), &IdentityPreconditioner, &opts);
         prop_assert!(warm.iterations <= 1);

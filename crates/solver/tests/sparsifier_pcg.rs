@@ -16,12 +16,7 @@ fn pcg_iterations(g: &Graph, method: Method) -> (usize, f64) {
     let sol = pcg(&lg, &b, &pre, &PcgOptions::with_tolerance(1e-6));
     assert!(sol.converged, "PCG must converge with a sparsifier preconditioner");
     assert!(lg.residual_inf_norm(&sol.x, &b) < 1e-3);
-    let kappa = tracered_core::metrics::relative_condition_number(
-        &lg,
-        pre.factor(),
-        60,
-        13,
-    );
+    let kappa = tracered_core::metrics::relative_condition_number(&lg, pre.factor(), 60, 13);
     (sol.iterations, kappa)
 }
 
@@ -52,10 +47,7 @@ fn lower_kappa_means_fewer_pcg_iterations() {
     let (it_er, k_er) = pcg_iterations(&g, Method::EffectiveResistance);
     // Shape check, with slack for small-problem noise: trace reduction
     // should not be meaningfully worse on either metric.
-    assert!(
-        k_tr <= k_er * 1.25,
-        "κ: trace reduction {k_tr} vs effective resistance {k_er}"
-    );
+    assert!(k_tr <= k_er * 1.25, "κ: trace reduction {k_tr} vs effective resistance {k_er}");
     assert!(
         it_tr <= it_er + 3,
         "iterations: trace reduction {it_tr} vs effective resistance {it_er}"

@@ -322,7 +322,7 @@ mod tests {
         let mut coo = CooMatrix::new(n, n);
         let id = |r: usize, c: usize| r * k + c;
         let mut deg = vec![0.0; n];
-        let mut push_edge = |coo: &mut CooMatrix, a: usize, b: usize, deg: &mut [f64]| {
+        let push_edge = |coo: &mut CooMatrix, a: usize, b: usize, deg: &mut [f64]| {
             coo.push_symmetric(a, b, -1.0).unwrap();
             deg[a] += 1.0;
             deg[b] += 1.0;

@@ -226,6 +226,50 @@ impl CscMatrix {
         }
     }
 
+    /// Matrix–vector product of a **symmetric** matrix on `threads`
+    /// workers (`y` is overwritten).
+    ///
+    /// Symmetry lets a CSC matrix be read row-wise: row `i` of `A` is
+    /// column `i`, so `y[i]` becomes an independent gather
+    /// `Σ_k values[k] · x[rowidx[k]]` over column `i` — embarrassingly
+    /// parallel with no scattered writes. Rows are chunked onto a
+    /// work-stealing queue; the gather accumulates partner contributions
+    /// in the same (increasing-index) order for every thread count, so
+    /// results are deterministic and agree with [`CscMatrix::matvec_into`]
+    /// up to the `x[j] == 0` terms that the serial scatter skips (exact
+    /// numeric equality, possible `±0.0` sign differences only).
+    ///
+    /// Callers are responsible for symmetry (Laplacians and SPD systems
+    /// in this workspace); the matrix is **not** validated per call —
+    /// check once at the call boundary (as `pcg_with_guess` does) when
+    /// the matrix origin is uncertain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or dimensions disagree.
+    pub fn sym_matvec_into_threads(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert_eq!(self.nrows, self.ncols, "symmetric matvec requires a square matrix");
+        assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "output length must equal nrows");
+        let chunk = tracered_par::chunk_size(self.nrows, threads, 512);
+        tracered_par::par_chunks_mut(
+            y,
+            chunk,
+            threads,
+            || (),
+            |_, start, out| {
+                for (off, yi) in out.iter_mut().enumerate() {
+                    let i = start + off;
+                    let mut acc = 0.0;
+                    for k in self.colptr[i]..self.colptr[i + 1] {
+                        acc += self.values[k] * x[self.rowidx[k]];
+                    }
+                    *yi = acc;
+                }
+            },
+        );
+    }
+
     /// Infinity norm of the residual `A x − b`, a convenience for tests and
     /// solver verification.
     ///
@@ -261,13 +305,7 @@ impl CscMatrix {
         }
         // Row indices within each output column are automatically sorted
         // because we sweep source columns in increasing order.
-        CscMatrix {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            colptr,
-            rowidx,
-            values,
-        }
+        CscMatrix { nrows: self.ncols, ncols: self.nrows, colptr, rowidx, values }
     }
 
     /// Converts to compressed sparse row format.
@@ -293,10 +331,7 @@ impl CscMatrix {
         }
         let t = self.transpose();
         self.colptr == t.colptr && self.rowidx == t.rowidx && {
-            self.values
-                .iter()
-                .zip(t.values.iter())
-                .all(|(a, b)| a == b)
+            self.values.iter().zip(t.values.iter()).all(|(a, b)| a == b)
         }
     }
 
@@ -456,7 +491,9 @@ impl CscMatrix {
         for c in 0..n {
             let range = colptr[c]..colptr[c + 1];
             scratch.clear();
-            scratch.extend(rowidx[range.clone()].iter().copied().zip(values[range.clone()].iter().copied()));
+            scratch.extend(
+                rowidx[range.clone()].iter().copied().zip(values[range.clone()].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(r, _)| r);
             for (off, &(r, v)) in scratch.iter().enumerate() {
                 rowidx[colptr[c] + off] = r;
@@ -530,6 +567,75 @@ impl From<&CooMatrix> for CscMatrix {
     }
 }
 
+/// Minimum slice length per chunk for the dense vector kernels below —
+/// per-element work is a couple of flops, so chunks must be long enough
+/// to amortise scheduling.
+const VEC_MIN_CHUNK: usize = 4096;
+
+/// `y ← y + α x` on `threads` workers.
+///
+/// Element-wise independent, so results are bit-identical for every
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn par_axpy(y: &mut [f64], alpha: f64, x: &[f64], threads: usize) {
+    assert_eq!(y.len(), x.len(), "axpy operands must have equal length");
+    let chunk = tracered_par::chunk_size(y.len(), threads, VEC_MIN_CHUNK);
+    tracered_par::par_chunks_mut(
+        y,
+        chunk,
+        threads,
+        || (),
+        |_, start, out| {
+            for (off, yi) in out.iter_mut().enumerate() {
+                *yi += alpha * x[start + off];
+            }
+        },
+    );
+}
+
+/// `p ← z + β p` on `threads` workers (the PCG direction update).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn par_xpby(p: &mut [f64], beta: f64, z: &[f64], threads: usize) {
+    assert_eq!(p.len(), z.len(), "xpby operands must have equal length");
+    let chunk = tracered_par::chunk_size(p.len(), threads, VEC_MIN_CHUNK);
+    tracered_par::par_chunks_mut(
+        p,
+        chunk,
+        threads,
+        || (),
+        |_, start, out| {
+            for (off, pi) in out.iter_mut().enumerate() {
+                *pi = z[start + off] + beta * *pi;
+            }
+        },
+    );
+}
+
+/// Chunked dot product `aᵀ b` on `threads` workers.
+///
+/// The chunk decomposition is fixed by the input length (never by the
+/// thread count) and partial sums combine in chunk order, so the result
+/// is deterministic across thread counts — though not bit-identical to
+/// a single serial fold.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn par_dot(a: &[f64], b: &[f64], threads: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    // Fixed chunk (independent of `threads`) keeps the reduction order —
+    // and therefore the result — invariant across thread counts.
+    tracered_par::par_reduce_f64(a.len(), VEC_MIN_CHUNK, threads, |lo, hi| {
+        a[lo..hi].iter().zip(b[lo..hi].iter()).map(|(x, y)| x * y).sum()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +696,57 @@ mod tests {
         let x = vec![1.0, 2.0, 3.0];
         let y = a.matvec(&x);
         assert_eq!(y, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn sym_matvec_matches_serial_scatter_for_all_thread_counts() {
+        // A larger symmetric matrix: path Laplacian + diagonal shift.
+        let n = 300;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            let w = 0.5 + (i % 7) as f64;
+            coo.push(i, i + 1, -w).unwrap();
+            coo.push(i + 1, i, -w).unwrap();
+            coo.push(i, i, w).unwrap();
+            coo.push(i + 1, i + 1, w).unwrap();
+        }
+        for i in 0..n {
+            coo.push(i, i, 0.25).unwrap();
+        }
+        let a = coo.to_csc();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 11) as f64) - 5.0).collect();
+        let serial = a.matvec(&x);
+        for threads in [1usize, 2, 4, 8] {
+            let mut y = vec![0.0; n];
+            a.sym_matvec_into_threads(&x, &mut y, threads);
+            for (i, (s, p)) in serial.iter().zip(y.iter()).enumerate() {
+                assert!(
+                    (s - p).abs() == 0.0,
+                    "row {i}: serial {s} vs par {p} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_kernels_match_serial_for_all_thread_counts() {
+        let n = 10_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let base: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut serial = base.clone();
+        par_axpy(&mut serial, 0.37, &x, 1);
+        let dot1 = par_dot(&serial, &x, 1);
+        for threads in [2usize, 4, 8] {
+            let mut y = base.clone();
+            par_axpy(&mut y, 0.37, &x, threads);
+            assert!(serial.iter().zip(y.iter()).all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(dot1.to_bits(), par_dot(&y, &x, threads).to_bits());
+            let mut p = base.clone();
+            let mut p1 = base.clone();
+            par_xpby(&mut p, -0.8, &x, threads);
+            par_xpby(&mut p1, -0.8, &x, 1);
+            assert!(p.iter().zip(p1.iter()).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

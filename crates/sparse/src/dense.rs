@@ -49,11 +49,7 @@ impl DenseMatrix {
     ///
     /// Returns [`SparseError::DimensionMismatch`] if
     /// `data.len() != nrows * ncols`.
-    pub fn from_row_major(
-        nrows: usize,
-        ncols: usize,
-        data: Vec<f64>,
-    ) -> Result<Self, SparseError> {
+    pub fn from_row_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self, SparseError> {
         if data.len() != nrows * ncols {
             return Err(SparseError::DimensionMismatch {
                 expected: nrows * ncols,
@@ -265,12 +261,8 @@ mod tests {
     use super::*;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_row_major(
-            3,
-            3,
-            vec![4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0],
-        )
-        .unwrap()
+        DenseMatrix::from_row_major(3, 3, vec![4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0])
+            .unwrap()
     }
 
     #[test]

@@ -200,13 +200,13 @@ mod tests {
         let a = tridiag(7).upper_triangle();
         let parent = elimination_tree(&a);
         let post = postorder(&parent);
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for &v in &post {
             seen[v] = true;
         }
         assert!(seen.iter().all(|&s| s));
         // Every node must appear after all of its children.
-        let mut position = vec![0usize; 7];
+        let mut position = [0usize; 7];
         for (idx, &v) in post.iter().enumerate() {
             position[v] = idx;
         }

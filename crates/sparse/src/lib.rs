@@ -57,7 +57,7 @@ pub mod sparsevec;
 
 pub use chol::CholeskyFactor;
 pub use coo::CooMatrix;
-pub use csc::CscMatrix;
+pub use csc::{par_axpy, par_dot, par_xpby, CscMatrix};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;

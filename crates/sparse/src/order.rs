@@ -72,7 +72,12 @@ fn adjacency(a: &CscMatrix) -> Vec<Vec<usize>> {
 
 /// Finds a pseudo-peripheral vertex of the component containing `start`
 /// by repeated BFS to the farthest level.
-fn pseudo_peripheral(adj: &[Vec<usize>], start: usize, scratch: &mut [usize], round: usize) -> usize {
+fn pseudo_peripheral(
+    adj: &[Vec<usize>],
+    start: usize,
+    scratch: &mut [usize],
+    round: usize,
+) -> usize {
     let mut node = start;
     let mut last_ecc = 0usize;
     loop {
@@ -180,8 +185,7 @@ pub fn min_degree(a: &CscMatrix) -> Permutation {
     // AMD-flavoured dense-row threshold: a multiple of the average degree
     // with a sqrt(n) floor.
     let avg_degree = if n == 0 { 0.0 } else { a.nnz() as f64 / n as f64 };
-    let dense_cutoff =
-        ((16.0 * avg_degree).max(4.0 * (n as f64).sqrt()).max(16.0) as usize).min(n);
+    let dense_cutoff = ((16.0 * avg_degree).max(4.0 * (n as f64).sqrt()).max(16.0) as usize).min(n);
     let mut eliminated = vec![false; n];
     let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::with_capacity(n * 2);
     for (v, list) in adj.iter().enumerate() {
@@ -553,10 +557,7 @@ mod tests {
     #[test]
     fn rejects_rectangular() {
         let a = CscMatrix::zeros(2, 3);
-        assert!(matches!(
-            Ordering::MinDegree.compute(&a),
-            Err(SparseError::NotSquare { .. })
-        ));
+        assert!(matches!(Ordering::MinDegree.compute(&a), Err(SparseError::NotSquare { .. })));
     }
 
     #[test]

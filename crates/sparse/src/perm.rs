@@ -153,10 +153,7 @@ mod tests {
 
     #[test]
     fn from_vec_rejects_non_bijection() {
-        assert_eq!(
-            Permutation::from_vec(vec![0, 0, 1]),
-            Err(SparseError::InvalidPermutation)
-        );
+        assert_eq!(Permutation::from_vec(vec![0, 0, 1]), Err(SparseError::InvalidPermutation));
         assert_eq!(Permutation::from_vec(vec![0, 3]), Err(SparseError::InvalidPermutation));
     }
 

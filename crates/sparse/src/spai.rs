@@ -212,8 +212,7 @@ mod tests {
         let f = CholeskyFactor::factorize(&a, Ordering::Natural).unwrap();
         let z = ApproxInverse::build(f.l(), SpaiOptions::with_threshold(0.0)).unwrap();
         let ld = f.l().to_dense();
-        let zinv = ld
-            .matmul(&z.to_csc().to_dense());
+        let zinv = ld.matmul(&z.to_csc().to_dense());
         // L · Z must be the identity.
         for r in 0..8 {
             for c in 0..8 {

@@ -4,17 +4,16 @@ use proptest::prelude::*;
 use tracered_sparse::ichol::IncompleteCholesky;
 use tracered_sparse::order::{nested_dissection, Ordering};
 use tracered_sparse::sparsevec::SparseVec;
-use tracered_sparse::{ApproxInverse, CholeskyFactor, CooMatrix, CscMatrix, Permutation, SpaiOptions};
+use tracered_sparse::{
+    ApproxInverse, CholeskyFactor, CooMatrix, CscMatrix, Permutation, SpaiOptions,
+};
 
 /// Strategy: a connected weighted graph on `n` nodes given as a random
 /// spanning tree plus extra random edges, returned as (n, edges).
 fn arb_connected_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (3usize..14).prop_flat_map(|n| {
         let tree = proptest::collection::vec(0.05f64..5.0, n - 1);
-        let extras = proptest::collection::vec(
-            (0..n * n, 0.05f64..5.0),
-            0..(2 * n),
-        );
+        let extras = proptest::collection::vec((0..n * n, 0.05f64..5.0), 0..(2 * n));
         (tree, extras).prop_map(move |(tree_w, extras)| {
             let mut edges = Vec::new();
             for (i, w) in tree_w.into_iter().enumerate() {

@@ -16,10 +16,7 @@ use tracered_solver::precond::CholPreconditioner;
 
 fn report(name: &str, g: &Graph) -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== {name}: {} nodes, {} edges ==", g.num_nodes(), g.num_edges());
-    println!(
-        "{:<22} {:>8} {:>10} {:>8} {:>8}",
-        "method", "kappa", "trace", "PCG its", "T_s (s)"
-    );
+    println!("{:<22} {:>8} {:>10} {:>8} {:>8}", "method", "kappa", "trace", "PCG its", "T_s (s)");
     let b: Vec<f64> = (0..g.num_nodes()).map(|i| ((i % 17) as f64) - 8.0).collect();
     for (label, method) in [
         ("trace reduction", Method::TraceReduction),

@@ -35,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // same uniform shift the partitioner uses.
     let t1 = Instant::now();
     let s = partition_shift(&g);
-    let sp = sparsify(
-        &g,
-        &SparsifyConfig::new(Method::TraceReduction).shift(ShiftPolicy::Uniform(s)),
-    )?;
+    let sp =
+        sparsify(&g, &SparsifyConfig::new(Method::TraceReduction).shift(ShiftPolicy::Uniform(s)))?;
     let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g))?;
     let iterative = bisect_pcg(&g, &pre, steps, 17, 1e-3)?;
     let t_iter = t1.elapsed();

@@ -1,0 +1,142 @@
+//! Minimal, deterministic stand-in for the `criterion` crate.
+//!
+//! Implements the subset the `tracered` workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`bench_function`/`finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a plain
+//! wall-clock loop (no outlier analysis or plots); results print as
+//! `name … mean <time>/iter over <n> iters`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Maximum wall-clock budget per benchmark function.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// Benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Measures one closure; created by [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    min_iters: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the time budget or iteration floor is
+    /// met.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside the measurement.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            std::hint::black_box(f());
+            n += 1;
+            let elapsed = start.elapsed();
+            if (elapsed >= TIME_BUDGET && n >= self.min_iters) || n >= 100_000 {
+                self.elapsed = elapsed;
+                self.iters = n;
+                return;
+            }
+        }
+    }
+}
+
+fn run_one(name: &str, min_iters: u64, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { min_iters, elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<44} (no measurement — Bencher::iter never called)");
+    } else {
+        let per = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!("{name:<44} mean {:.6} s/iter over {} iters", per, b.iters);
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, 2, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _c: self, min_iters: 2 }
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    min_iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on measured iterations (approximates criterion's
+    /// sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.min_iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs and reports one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("  {name}"), self.min_iters, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("x", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -16,7 +16,8 @@ fn trapezoidal_converges_faster_than_backward_euler() {
     // Halving the step should cut backward Euler's error ~2× (first
     // order) and the trapezoidal rule's ~4× (second order). Reference:
     // a very fine backward-Euler run.
-    let pg = synthesize(&SynthConfig { mesh: 6, source_fraction: 0.4, seed: 3, ..Default::default() });
+    let pg =
+        synthesize(&SynthConfig { mesh: 6, source_fraction: 0.4, seed: 3, ..Default::default() });
     let (_, far) = probe_pair(&pg);
     let t_end = 4e-10;
     let run = |scheme: IntegrationScheme, h: f64| {
@@ -37,10 +38,7 @@ fn trapezoidal_converges_faster_than_backward_euler() {
     let tr_ratio = err(IntegrationScheme::Trapezoidal, h1)
         / err(IntegrationScheme::Trapezoidal, h2).max(1e-18);
     // First vs second order, with slack for the non-smooth source kinks.
-    assert!(
-        (1.4..3.0).contains(&be_ratio),
-        "backward Euler halving ratio {be_ratio} should be ~2"
-    );
+    assert!((1.4..3.0).contains(&be_ratio), "backward Euler halving ratio {be_ratio} should be ~2");
     assert!(tr_ratio > 2.8, "trapezoidal halving ratio {tr_ratio} should be ~4");
     assert!(
         err(IntegrationScheme::Trapezoidal, h1) < err(IntegrationScheme::BackwardEuler, h1),
@@ -60,8 +58,7 @@ fn sparsifier_iterations_scale_flatter_than_ic0() {
         let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) - 11.0).collect();
         let opts = PcgOptions::with_tolerance(1e-6);
         let ic = pcg(&lg, &b, &IcPreconditioner::from_matrix(&lg).unwrap(), &opts);
-        let spp =
-            pcg(&lg, &b, &CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap(), &opts);
+        let spp = pcg(&lg, &b, &CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap(), &opts);
         assert!(ic.converged && spp.converged);
         (ic.iterations, spp.iterations)
     };
@@ -104,22 +101,14 @@ fn kway_partition_cut_grows_sublinearly_in_parts() {
 fn tracked_trace_upper_bounds_measured_kappa() {
     let g = tri_mesh(12, 12, WeightProfile::Unit, 2);
     let sp = sparsify(&g, &SparsifyConfig::default().track_trace(true)).unwrap();
-    let last_trace = sp
-        .report()
-        .iterations
-        .last()
-        .and_then(|it| it.trace_estimate)
-        .expect("tracking enabled");
+    let last_trace =
+        sp.report().iterations.last().and_then(|it| it.trace_estimate).expect("tracking enabled");
     let lg = sp.graph_laplacian(&g);
     let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap();
-    let kappa =
-        tracered_core::metrics::relative_condition_number(&lg, pre.factor(), 60, 4);
+    let kappa = tracered_core::metrics::relative_condition_number(&lg, pre.factor(), 60, 4);
     // The last tracked trace is measured *before* the final recovery, so
     // with Hutchinson slack it must still dominate the final κ.
-    assert!(
-        last_trace * 1.2 > kappa,
-        "trace estimate {last_trace} should bound κ {kappa}"
-    );
+    assert!(last_trace * 1.2 > kappa, "trace estimate {last_trace} should bound κ {kappa}");
 }
 
 #[test]

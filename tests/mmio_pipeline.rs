@@ -28,11 +28,8 @@ fn mtx_roundtrip_then_sparsify_and_solve() {
     let n = mm.graph.num_nodes();
     let base = 1e-3 * 2.0 * mm.graph.total_weight() / n as f64;
     let shifts: Vec<f64> = mm.diag_slack.iter().map(|&s| s + base).collect();
-    let sp = sparsify(
-        &mm.graph,
-        &SparsifyConfig::default().shift(ShiftPolicy::PerNode(shifts)),
-    )
-    .unwrap();
+    let sp = sparsify(&mm.graph, &SparsifyConfig::default().shift(ShiftPolicy::PerNode(shifts)))
+        .unwrap();
     let lg = sp.graph_laplacian(&mm.graph);
     let pre = CholPreconditioner::from_matrix(&sp.laplacian(&mm.graph)).unwrap();
     let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();

@@ -13,8 +13,7 @@ fn all_methods_reproduce_the_direct_partition() {
     let direct = bisect_direct(&g, 5, 99).unwrap();
     let s = partition_shift(&g);
     for method in [Method::TraceReduction, Method::Grass, Method::EffectiveResistance] {
-        let sp = sparsify(&g, &SparsifyConfig::new(method).shift(ShiftPolicy::Uniform(s)))
-            .unwrap();
+        let sp = sparsify(&g, &SparsifyConfig::new(method).shift(ShiftPolicy::Uniform(s))).unwrap();
         let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap();
         let bis = bisect_pcg(&g, &pre, 5, 99, 1e-3).unwrap();
         let err = relative_error(&direct.side, &bis.side);
@@ -37,15 +36,11 @@ fn proposed_needs_no_more_inner_iterations_than_grass() {
     let g = tri_mesh(22, 22, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 21);
     let s = partition_shift(&g);
     let inner = |method: Method| -> usize {
-        let sp = sparsify(&g, &SparsifyConfig::new(method).shift(ShiftPolicy::Uniform(s)))
-            .unwrap();
+        let sp = sparsify(&g, &SparsifyConfig::new(method).shift(ShiftPolicy::Uniform(s))).unwrap();
         let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap();
         bisect_pcg(&g, &pre, 5, 7, 1e-3).unwrap().inner_iterations
     };
     let tr = inner(Method::TraceReduction);
     let gr = inner(Method::Grass);
-    assert!(
-        tr as f64 <= gr as f64 * 1.3 + 5.0,
-        "proposed {tr} inner iterations vs GRASS {gr}"
-    );
+    assert!(tr as f64 <= gr as f64 * 1.3 + 5.0, "proposed {tr} inner iterations vs GRASS {gr}");
 }

@@ -2,7 +2,9 @@
 //! three methods) → preconditioned solve → quality metrics, mirroring
 //! the paper's Table 1 methodology at test scale.
 
-use tracered_core::metrics::{relative_condition_number, trace_proxy_exact, trace_proxy_hutchinson};
+use tracered_core::metrics::{
+    relative_condition_number, trace_proxy_exact, trace_proxy_hutchinson,
+};
 use tracered_core::{sparsify, Method, SparsifyConfig};
 use tracered_graph::gen::{grid2d, grid3d, tri_mesh, WeightProfile};
 use tracered_graph::Graph;
@@ -37,10 +39,7 @@ fn table1_methodology_on_all_generator_families() {
         // The paper's claim, with generous slack at this tiny scale: the
         // proposed metric is competitive with the best baseline.
         let best = k_gr.min(k_er);
-        assert!(
-            k_tr <= best * 1.6,
-            "{name}: trace reduction κ = {k_tr} vs best baseline {best}"
-        );
+        assert!(k_tr <= best * 1.6, "{name}: trace reduction κ = {k_tr} vs best baseline {best}");
         assert!(it_tr > 0 && it_gr > 0);
     }
 }

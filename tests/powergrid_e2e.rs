@@ -33,13 +33,9 @@ fn direct_and_sparsifier_pcg_agree_within_16mv() {
     )
     .unwrap();
     let pre = sparsifier_preconditioner(&pg, Method::TraceReduction);
-    let iter = simulate_pcg(
-        &pg,
-        &TransientConfig { t_end: 2e-9, ..Default::default() },
-        &pre,
-        &probes,
-    )
-    .unwrap();
+    let iter =
+        simulate_pcg(&pg, &TransientConfig { t_end: 2e-9, ..Default::default() }, &pre, &probes)
+            .unwrap();
     for idx in 0..probes.len() {
         let d = direct.max_probe_difference(&iter, idx, 400);
         assert!(d < 0.016, "probe {idx}: deviation {d} V exceeds the paper's 16 mV");
@@ -57,13 +53,9 @@ fn variable_stepping_takes_far_fewer_steps_than_breakpoint_limited_direct() {
     )
     .unwrap();
     let pre = sparsifier_preconditioner(&pg, Method::TraceReduction);
-    let iter = simulate_pcg(
-        &pg,
-        &TransientConfig { t_end: 2e-9, ..Default::default() },
-        &pre,
-        &[near],
-    )
-    .unwrap();
+    let iter =
+        simulate_pcg(&pg, &TransientConfig { t_end: 2e-9, ..Default::default() }, &pre, &[near])
+            .unwrap();
     assert!(
         iter.stats.steps * 3 < direct.stats.steps,
         "variable steps {} should be far fewer than fixed steps {}",
@@ -96,15 +88,11 @@ fn proposed_preconditioner_needs_no_more_iterations_than_grass() {
     let pg = grid();
     let (near, _) = probe_pair(&pg);
     let cfg = TransientConfig { t_end: 2e-9, ..Default::default() };
-    let grass = simulate_pcg(&pg, &cfg, &sparsifier_preconditioner(&pg, Method::Grass), &[near])
-        .unwrap();
-    let proposed = simulate_pcg(
-        &pg,
-        &cfg,
-        &sparsifier_preconditioner(&pg, Method::TraceReduction),
-        &[near],
-    )
-    .unwrap();
+    let grass =
+        simulate_pcg(&pg, &cfg, &sparsifier_preconditioner(&pg, Method::Grass), &[near]).unwrap();
+    let proposed =
+        simulate_pcg(&pg, &cfg, &sparsifier_preconditioner(&pg, Method::TraceReduction), &[near])
+            .unwrap();
     // Shape check with small-scale slack.
     assert!(
         proposed.stats.avg_pcg_iterations <= grass.stats.avg_pcg_iterations * 1.3 + 2.0,
