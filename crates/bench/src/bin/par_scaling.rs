@@ -129,6 +129,7 @@ fn main() {
             .int("candidates", candidates.len() as i64)
             .int("beta", BETA as i64)
             .int("threads", threads as i64)
+            .int("available_parallelism", tracered_bench::available_parallelism() as i64)
             .secs_field("tree_time", tree_time)
     };
 

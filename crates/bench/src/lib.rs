@@ -324,6 +324,14 @@ pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<
     std::fs::write(path, out)
 }
 
+/// CPU parallelism the OS reports for this process, `1` when unknown —
+/// recorded in every bench JSON so that single-core containers (which
+/// cannot show real thread speedups) are machine-detectable when later
+/// runs diff the numbers.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Parses `--scale <f64>` and `--case <name>` from `std::env::args`.
 pub fn parse_args() -> (f64, Option<String>) {
     let mut scale = 1.0;

@@ -153,6 +153,41 @@ where
     });
 }
 
+/// Runs an explicit job list on `threads` workers through the same
+/// work-stealing queue as the chunk entry points.
+///
+/// This is the escape hatch for parallel regions whose output cannot be
+/// expressed as chunks of a single slice — e.g. the multi-RHS SpMM,
+/// whose jobs are (column, row-range) tiles of a column-major block.
+/// Jobs carry their own disjoint `&mut` state; with `threads <= 1` they
+/// run in order on the calling thread, and because each job writes only
+/// its own state the results are bit-identical for every thread count.
+pub fn par_jobs<T, F>(jobs: Vec<T>, threads: usize, body: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            body(job);
+        }
+        return;
+    }
+    let workers = threads.min(jobs.len());
+    let queue = Mutex::new(jobs.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("worker panicked holding job queue").next();
+                match job {
+                    Some(job) => body(job),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
 /// Chunked deterministic sum reduction: `Σ_i body(i)` over `0..len`,
 /// computed as per-chunk partial sums combined in chunk order.
 ///
@@ -252,6 +287,21 @@ mod tests {
             assert_eq!(x[i], 2.0 * i as f64);
             assert_eq!(r[i], 100.0 - i as f64);
         }
+    }
+
+    #[test]
+    fn jobs_all_run_exactly_once_for_every_thread_count() {
+        for threads in [1usize, 2, 5] {
+            let mut out = vec![0u32; 100];
+            let jobs: Vec<(usize, &mut u32)> = out.iter_mut().enumerate().collect();
+            par_jobs(jobs, threads, |(i, slot)| {
+                *slot += 1 + i as u32;
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, 1 + i as u32, "job {i} at {threads} threads");
+            }
+        }
+        par_jobs(Vec::<usize>::new(), 4, |_| panic!("no jobs expected"));
     }
 
     #[test]

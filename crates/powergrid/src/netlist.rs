@@ -124,23 +124,62 @@ impl PowerGrid {
     ///
     /// Panics if `v_prev.len()` differs from the node count or `h <= 0`.
     pub fn transient_rhs(&self, t_next: f64, h: f64, v_prev: &[f64], out: &mut [f64]) {
+        self.transient_rhs_scaled(t_next, h, v_prev, None, out);
+    }
+
+    /// [`PowerGrid::transient_rhs`] with per-source amplitude scaling —
+    /// the batch transient engine's per-scenario right-hand side.
+    /// `source_scale[i]` multiplies source `i`'s draw; `None` means the
+    /// nominal ensemble (every scale `1.0`, bit-identical to the unscaled
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`PowerGrid::transient_rhs`] conditions, or if a
+    /// scale slice's length differs from the source count.
+    pub fn transient_rhs_scaled(
+        &self,
+        t_next: f64,
+        h: f64,
+        v_prev: &[f64],
+        source_scale: Option<&[f64]>,
+        out: &mut [f64],
+    ) {
         let n = self.num_nodes();
         assert_eq!(v_prev.len(), n, "previous state length must equal node count");
         assert_eq!(out.len(), n, "output length must equal node count");
         assert!(h > 0.0, "time step must be positive");
+        if let Some(scale) = source_scale {
+            assert_eq!(scale.len(), self.sources.len(), "one scale per source");
+        }
         for i in 0..n {
             out[i] = self.capacitance[i] / h * v_prev[i] + self.pad_conductance[i] * self.vdd;
         }
-        for s in &self.sources {
-            out[s.node] -= s.waveform.value(t_next);
+        for (k, s) in self.sources.iter().enumerate() {
+            let scale = source_scale.map_or(1.0, |sc| sc[k]);
+            out[s.node] -= scale * s.waveform.value(t_next);
         }
     }
 
     /// DC right-hand side: `b = G_pad·VDD − I(0)`.
     pub fn dc_rhs(&self) -> Vec<f64> {
+        self.dc_rhs_scaled(None)
+    }
+
+    /// [`PowerGrid::dc_rhs`] with per-source amplitude scaling (`None`
+    /// means nominal, scale `1.0` everywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scale slice's length differs from the source count.
+    pub fn dc_rhs_scaled(&self, source_scale: Option<&[f64]>) -> Vec<f64> {
+        if let Some(scale) = source_scale {
+            assert_eq!(scale.len(), self.sources.len(), "one scale per source");
+        }
         let mut b: Vec<f64> = self.pad_conductance.iter().map(|&g| g * self.vdd).collect();
-        for s in &self.sources {
-            b[s.node] -= s.waveform.value(0.0);
+        for (k, s) in self.sources.iter().enumerate() {
+            let scale = source_scale.map_or(1.0, |sc| sc[k]);
+            b[s.node] -= scale * s.waveform.value(0.0);
         }
         b
     }

@@ -15,10 +15,11 @@
 
 use std::time::{Duration, Instant};
 
-use tracered_solver::pcg::{pcg_with_guess, PcgOptions};
+use tracered_solver::block::block_pcg_with_guess;
+use tracered_solver::pcg::PcgOptions;
 use tracered_solver::precond::{CholPreconditioner, Preconditioner};
 use tracered_solver::DirectSolver;
-use tracered_sparse::SparseError;
+use tracered_sparse::{MultiVec, SparseError};
 
 use crate::netlist::PowerGrid;
 use crate::waveform::merged_time_grid;
@@ -54,6 +55,10 @@ pub struct TransientConfig {
     pub pcg_tol: f64,
     /// Time-integration scheme (paper default: backward Euler).
     pub scheme: IntegrationScheme,
+    /// Worker threads for the PCG kernels (SpMV/SpMM, reductions, fused
+    /// vector updates). `1` preserves the exact serial arithmetic; larger
+    /// values route through the parallel kernels of `tracered_sparse`.
+    pub threads: usize,
 }
 
 impl Default for TransientConfig {
@@ -64,7 +69,40 @@ impl Default for TransientConfig {
             fixed_step: None,
             pcg_tol: 1e-6,
             scheme: IntegrationScheme::BackwardEuler,
+            threads: 1,
         }
+    }
+}
+
+/// One member of a batch transient ensemble: a per-source modulation of
+/// the switching-current amplitudes. Scenarios share the grid, the
+/// matrices and the time grid — only the right-hand sides differ, which
+/// is exactly the shape the blocked multi-RHS kernels amortize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceScenario {
+    /// Per-source amplitude multipliers (`len == pg.sources().len()`), or
+    /// `None` for the nominal ensemble (every scale `1.0`).
+    pub source_scale: Option<Vec<f64>>,
+}
+
+impl SourceScenario {
+    /// The nominal ensemble: every source at its configured amplitude.
+    pub fn nominal() -> Self {
+        SourceScenario { source_scale: None }
+    }
+
+    /// Scales every source by the same factor (a global activity corner).
+    pub fn uniform(scale: f64, num_sources: usize) -> Self {
+        SourceScenario { source_scale: Some(vec![scale; num_sources]) }
+    }
+
+    /// Per-source scale factors (per-block activity patterns).
+    pub fn per_source(scales: Vec<f64>) -> Self {
+        SourceScenario { source_scale: Some(scales) }
+    }
+
+    fn scales(&self) -> Option<&[f64]> {
+        self.source_scale.as_deref()
     }
 }
 
@@ -154,6 +192,30 @@ pub fn dc_operating_point(pg: &PowerGrid) -> Result<Vec<f64>, SparseError> {
     Ok(solver.solve(&pg.dc_rhs()))
 }
 
+/// Solves the DC operating points of a whole scenario ensemble with one
+/// factorization of `G` and one blocked multi-column substitution.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] if the grid has no pads.
+///
+/// # Panics
+///
+/// Panics if a scenario's scale length disagrees with the source count.
+pub fn dc_operating_points_batch(
+    pg: &PowerGrid,
+    scenarios: &[SourceScenario],
+) -> Result<MultiVec, SparseError> {
+    let n = pg.num_nodes();
+    let g = pg.conductance_matrix();
+    let solver = DirectSolver::new(&g)?;
+    let mut b = MultiVec::zeros(n, scenarios.len());
+    for (col, sc) in b.cols_mut().zip(scenarios.iter()) {
+        col.copy_from_slice(&pg.dc_rhs_scaled(sc.scales()));
+    }
+    Ok(solver.factor().solve_multi(&b))
+}
+
 /// Builds the step system matrix for a scheme:
 /// `G + C/h` (backward Euler) or `G/2 + C/h` (trapezoidal).
 fn system_matrix(pg: &PowerGrid, h: f64, scheme: IntegrationScheme) -> tracered_sparse::CscMatrix {
@@ -170,9 +232,10 @@ fn system_matrix(pg: &PowerGrid, h: f64, scheme: IntegrationScheme) -> tracered_
     }
 }
 
-/// Builds the step right-hand side for a scheme. For the trapezoidal rule
-/// `g_matrix` must be the full conductance matrix (used for `G v₀`);
-/// `gv_buf` is scratch of length n.
+/// Builds the step right-hand side for a scheme and one scenario. For the
+/// trapezoidal rule `g_matrix` must be the full conductance matrix (used
+/// for `G v₀`); `gv_buf` is scratch of length n. `source_scale` of `None`
+/// is the nominal ensemble.
 #[allow(clippy::too_many_arguments)]
 fn step_rhs(
     pg: &PowerGrid,
@@ -181,12 +244,15 @@ fn step_rhs(
     t1: f64,
     h: f64,
     v_prev: &[f64],
+    source_scale: Option<&[f64]>,
     g_matrix: &tracered_sparse::CscMatrix,
     gv_buf: &mut [f64],
     out: &mut [f64],
 ) {
     match scheme {
-        IntegrationScheme::BackwardEuler => pg.transient_rhs(t1, h, v_prev, out),
+        IntegrationScheme::BackwardEuler => {
+            pg.transient_rhs_scaled(t1, h, v_prev, source_scale, out);
+        }
         IntegrationScheme::Trapezoidal => {
             // b = (C/h) v₀ − ½ G v₀ + ½ (u(t₀) + u(t₁)),
             // u(t) = G_pad·VDD − I(t).
@@ -197,15 +263,16 @@ fn step_rhs(
             for i in 0..out.len() {
                 out[i] = cap[i] / h * v_prev[i] - 0.5 * gv_buf[i] + pad[i] * vdd;
             }
-            for s in pg.sources() {
-                out[s.node] -= 0.5 * (s.waveform.value(t0) + s.waveform.value(t1));
+            for (k, s) in pg.sources().iter().enumerate() {
+                let scale = source_scale.map_or(1.0, |sc| sc[k]);
+                out[s.node] -= scale * (0.5 * (s.waveform.value(t0) + s.waveform.value(t1)));
             }
         }
     }
 }
 
 /// Fixed-step transient with a direct solver (factor once, substitute per
-/// step).
+/// step). Batch-of-1 wrapper over [`simulate_direct_batch`].
 ///
 /// # Errors
 ///
@@ -220,8 +287,41 @@ pub fn simulate_direct(
     cfg: &TransientConfig,
     probe_nodes: &[usize],
 ) -> Result<TransientResult, SparseError> {
+    let mut out = simulate_direct_batch(pg, cfg, probe_nodes, &[SourceScenario::nominal()])?;
+    Ok(out.pop().expect("batch of one yields one result"))
+}
+
+/// Fixed-step transient of a whole scenario ensemble with one shared
+/// direct solver: `G + C/h` is factorized once and every step advances
+/// all `k` scenarios through one blocked multi-column substitution
+/// (`solve_multi`), streaming the factor once per step instead of once
+/// per scenario.
+///
+/// Returns one [`TransientResult`] per scenario, in order. Shared-cost
+/// accounting: `factor_time`, `memory_bytes` and `factorizations` report
+/// the shared factorization in every result (the work exists once, not
+/// `k` times); `solve_time` is the batch stepping time divided by `k` —
+/// the amortized per-scenario cost that the multi-RHS batching buys.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] when `G + C/h` cannot be
+/// factorized (floating grid).
+///
+/// # Panics
+///
+/// Panics if a probe node is out of bounds, `scenarios` is empty, or a
+/// scenario's scale length disagrees with the source count.
+pub fn simulate_direct_batch(
+    pg: &PowerGrid,
+    cfg: &TransientConfig,
+    probe_nodes: &[usize],
+    scenarios: &[SourceScenario],
+) -> Result<Vec<TransientResult>, SparseError> {
     let n = pg.num_nodes();
+    let k = scenarios.len();
     assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
+    assert!(k > 0, "at least one scenario is required");
     let h = cfg.fixed_step.unwrap_or_else(|| {
         pg.sources().iter().map(|s| s.waveform.min_breakpoint_gap()).fold(cfg.max_step, f64::min)
     });
@@ -231,41 +331,63 @@ pub fn simulate_direct(
     let factor_time = t_factor.elapsed();
     let g_matrix = pg.conductance_matrix();
 
-    let mut v = dc_operating_point(pg)?;
-    let mut rhs = vec![0.0; n];
+    let mut v = dc_operating_points_batch(pg, scenarios)?;
+    let mut rhs = MultiVec::zeros(n, k);
+    let mut vnext = MultiVec::zeros(n, k);
     let mut gv = vec![0.0; n];
-    let mut vnext = vec![0.0; n];
     let mut times = vec![0.0];
-    let mut probes: Vec<Vec<f64>> = probe_nodes.iter().map(|&p| vec![v[p]]).collect();
+    let mut probes: Vec<Vec<Vec<f64>>> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(s, _)| probe_nodes.iter().map(|&p| vec![v.col(s)[p]]).collect())
+        .collect();
     let t_solve = Instant::now();
     let mut steps = 0usize;
     let mut t = 0.0;
     while t < cfg.t_end - 1e-18 {
         let t_next = (t + h).min(cfg.t_end);
-        step_rhs(pg, cfg.scheme, t, t_next, h, &v, &g_matrix, &mut gv, &mut rhs);
-        solver.solve_into(&rhs, &mut vnext);
+        for (s, sc) in scenarios.iter().enumerate() {
+            step_rhs(
+                pg,
+                cfg.scheme,
+                t,
+                t_next,
+                h,
+                v.col(s),
+                sc.scales(),
+                &g_matrix,
+                &mut gv,
+                rhs.col_mut(s),
+            );
+        }
+        solver.factor().solve_multi_into(&rhs, &mut vnext);
         std::mem::swap(&mut v, &mut vnext);
         t = t_next;
         steps += 1;
         times.push(t);
-        for (trace, &p) in probes.iter_mut().zip(probe_nodes.iter()) {
-            trace.push(v[p]);
+        for (s, scenario_probes) in probes.iter_mut().enumerate() {
+            for (trace, &p) in scenario_probes.iter_mut().zip(probe_nodes.iter()) {
+                trace.push(v.col(s)[p]);
+            }
         }
     }
-    let solve_time = t_solve.elapsed();
-    Ok(TransientResult {
-        times,
-        probes,
-        stats: TransientStats {
-            steps,
-            factor_time,
-            solve_time,
-            total_pcg_iterations: 0,
-            avg_pcg_iterations: 0.0,
-            memory_bytes: solver.memory_bytes(),
-            factorizations: 1,
-        },
-    })
+    let solve_time = t_solve.elapsed() / k as u32;
+    Ok(probes
+        .into_iter()
+        .map(|scenario_probes| TransientResult {
+            times: times.clone(),
+            probes: scenario_probes,
+            stats: TransientStats {
+                steps,
+                factor_time,
+                solve_time,
+                total_pcg_iterations: 0,
+                avg_pcg_iterations: 0.0,
+                memory_bytes: solver.memory_bytes(),
+                factorizations: 1,
+            },
+        })
+        .collect())
 }
 
 /// Variable-step transient with a **direct** solver: the configuration
@@ -323,7 +445,7 @@ pub fn simulate_direct_varied(
             cached = Some((h, solver));
         }
         let solver = &cached.as_ref().expect("just populated").1;
-        step_rhs(pg, cfg.scheme, t0, t1, h, &v, &g_matrix, &mut gv, &mut rhs);
+        step_rhs(pg, cfg.scheme, t0, t1, h, &v, None, &g_matrix, &mut gv, &mut rhs);
         solver.solve_into(&rhs, &mut vnext);
         std::mem::swap(&mut v, &mut vnext);
         steps += 1;
@@ -349,10 +471,12 @@ pub fn simulate_direct_varied(
 }
 
 /// Variable-step transient with sparsifier-preconditioned PCG.
+/// Batch-of-1 wrapper over [`simulate_pcg_batch`].
 ///
 /// `preconditioner` should be the Cholesky factor of the *sparsified*
 /// conductance matrix (built once during DC analysis, per the paper); it
 /// is reused unchanged for every step and every step size.
+/// `cfg.threads` selects the parallel PCG kernels.
 ///
 /// # Errors
 ///
@@ -368,17 +492,65 @@ pub fn simulate_pcg(
     preconditioner: &CholPreconditioner,
     probe_nodes: &[usize],
 ) -> Result<TransientResult, SparseError> {
+    let mut out =
+        simulate_pcg_batch(pg, cfg, preconditioner, probe_nodes, &[SourceScenario::nominal()])?;
+    Ok(out.pop().expect("batch of one yields one result"))
+}
+
+/// Variable-step transient of a whole scenario ensemble with blocked
+/// sparsifier-preconditioned PCG: every timestep assembles one
+/// right-hand-side block (one column per scenario) and advances all of
+/// them through a single [`block_pcg_with_guess`] solve — one SpMM and
+/// one multi-column preconditioner apply per iteration, warm-started
+/// from each scenario's previous voltages, with converged scenarios
+/// deflating out of the iteration.
+///
+/// Column `j` of the batch performs exactly the arithmetic of a
+/// standalone [`simulate_pcg`] run on scenario `j` (see
+/// [`tracered_solver::block`] for the equivalence contract), so batch
+/// results match independent runs to the sign of exact zeros.
+///
+/// Returns one [`TransientResult`] per scenario, in order; all share the
+/// breakpoint-driven time grid (source scaling moves no breakpoints).
+/// `solve_time` is the batch stepping time divided by `k` (amortized
+/// per-scenario cost); `total_pcg_iterations` is per scenario.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] if the DC system cannot be
+/// factorized for the initial conditions.
+///
+/// # Panics
+///
+/// Panics if a probe node is out of bounds, `scenarios` is empty, or a
+/// scenario's scale length disagrees with the source count.
+pub fn simulate_pcg_batch(
+    pg: &PowerGrid,
+    cfg: &TransientConfig,
+    preconditioner: &CholPreconditioner,
+    probe_nodes: &[usize],
+    scenarios: &[SourceScenario],
+) -> Result<Vec<TransientResult>, SparseError> {
     let n = pg.num_nodes();
+    let k = scenarios.len();
     assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
+    assert!(k > 0, "at least one scenario is required");
     let waveforms: Vec<_> = pg.sources().iter().map(|s| s.waveform).collect();
     let grid = merged_time_grid(&waveforms, cfg.t_end, cfg.max_step);
 
-    let mut v = dc_operating_point(pg)?;
-    let mut rhs = vec![0.0; n];
+    let mut v = dc_operating_points_batch(pg, scenarios)?;
+    let mut rhs = MultiVec::zeros(n, k);
     let mut times = vec![grid[0]];
-    let mut probes: Vec<Vec<f64>> = probe_nodes.iter().map(|&p| vec![v[p]]).collect();
-    let opts =
-        PcgOptions { rel_tolerance: cfg.pcg_tol, max_iterations: 10_000, ..Default::default() };
+    let mut probes: Vec<Vec<Vec<f64>>> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(s, _)| probe_nodes.iter().map(|&p| vec![v.col(s)[p]]).collect())
+        .collect();
+    let opts = PcgOptions {
+        rel_tolerance: cfg.pcg_tol,
+        max_iterations: 10_000,
+        threads: cfg.threads.max(1),
+    };
     let g_matrix = pg.conductance_matrix();
     // For the trapezoidal rule the step matrix is G/2 + C/h.
     let g_for_system = match cfg.scheme {
@@ -394,7 +566,7 @@ pub fn simulate_pcg(
     let cap = pg.capacitance();
     let mut gv = vec![0.0; n];
     let t_solve = Instant::now();
-    let mut total_iters = 0usize;
+    let mut total_iters = vec![0usize; k];
     let mut steps = 0usize;
     for w in grid.windows(2) {
         let (t0, t1) = (w[0], w[1]);
@@ -404,30 +576,51 @@ pub fn simulate_pcg(
         let a = g_for_system
             .add_diagonal(&shifts)
             .expect("conductance matrix is square by construction");
-        step_rhs(pg, cfg.scheme, t0, t1, h, &v, &g_matrix, &mut gv, &mut rhs);
-        let sol = pcg_with_guess(&a, &rhs, Some(&v), preconditioner, &opts);
-        total_iters += sol.iterations;
+        for (s, sc) in scenarios.iter().enumerate() {
+            step_rhs(
+                pg,
+                cfg.scheme,
+                t0,
+                t1,
+                h,
+                v.col(s),
+                sc.scales(),
+                &g_matrix,
+                &mut gv,
+                rhs.col_mut(s),
+            );
+        }
+        let sol = block_pcg_with_guess(&a, &rhs, Some(&v), preconditioner, &opts);
+        for (total, its) in total_iters.iter_mut().zip(sol.iterations.iter()) {
+            *total += its;
+        }
         v = sol.x;
         steps += 1;
         times.push(t1);
-        for (trace, &p) in probes.iter_mut().zip(probe_nodes.iter()) {
-            trace.push(v[p]);
+        for (s, scenario_probes) in probes.iter_mut().enumerate() {
+            for (trace, &p) in scenario_probes.iter_mut().zip(probe_nodes.iter()) {
+                trace.push(v.col(s)[p]);
+            }
         }
     }
-    let solve_time = t_solve.elapsed();
-    Ok(TransientResult {
-        times,
-        probes,
-        stats: TransientStats {
-            steps,
-            factor_time: Duration::ZERO,
-            solve_time,
-            total_pcg_iterations: total_iters,
-            avg_pcg_iterations: if steps > 0 { total_iters as f64 / steps as f64 } else { 0.0 },
-            memory_bytes: preconditioner.memory_bytes(),
-            factorizations: 0,
-        },
-    })
+    let solve_time = t_solve.elapsed() / k as u32;
+    Ok(probes
+        .into_iter()
+        .zip(total_iters)
+        .map(|(scenario_probes, iters)| TransientResult {
+            times: times.clone(),
+            probes: scenario_probes,
+            stats: TransientStats {
+                steps,
+                factor_time: Duration::ZERO,
+                solve_time,
+                total_pcg_iterations: iters,
+                avg_pcg_iterations: if steps > 0 { iters as f64 / steps as f64 } else { 0.0 },
+                memory_bytes: preconditioner.memory_bytes(),
+                factorizations: 0,
+            },
+        })
+        .collect())
 }
 
 /// Picks two interesting probe nodes: one next to a pad (stiff, near-VDD)
@@ -621,6 +814,124 @@ mod tests {
             varied.stats.factorizations
         );
         assert_eq!(iter.stats.factorizations, 0);
+    }
+
+    /// Deterministic scenario ensemble: the nominal corner plus per-source
+    /// activity patterns.
+    fn scenario_ensemble(pg: &PowerGrid, k: usize) -> Vec<SourceScenario> {
+        let m = pg.sources().len();
+        (0..k)
+            .map(|i| {
+                if i == 0 {
+                    SourceScenario::nominal()
+                } else {
+                    SourceScenario::per_source(
+                        (0..m).map(|j| 0.25 + ((i * 7 + j * 3) % 10) as f64 * 0.15).collect(),
+                    )
+                }
+            })
+            .collect()
+    }
+
+    /// Largest pointwise gap between two runs' probe traces (same grid).
+    fn max_trace_gap(a: &TransientResult, b: &TransientResult) -> f64 {
+        assert_eq!(a.times, b.times);
+        a.probes
+            .iter()
+            .zip(b.probes.iter())
+            .flat_map(|(ta, tb)| ta.iter().zip(tb.iter()).map(|(x, y)| (x - y).abs()))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn pcg_batch_matches_independent_runs_per_scenario() {
+        let pg = small_grid();
+        let (near, far) = probe_pair(&pg);
+        let probes = [near, far];
+        let cfg = TransientConfig { t_end: 1e-9, pcg_tol: 1e-8, ..Default::default() };
+        let pre = CholPreconditioner::from_matrix(&pg.conductance_matrix()).unwrap();
+        let scenarios = scenario_ensemble(&pg, 8);
+        let batch = simulate_pcg_batch(&pg, &cfg, &pre, &probes, &scenarios).unwrap();
+        assert_eq!(batch.len(), 8);
+        for (s, sc) in scenarios.iter().enumerate() {
+            let single = simulate_pcg_batch(&pg, &cfg, &pre, &probes, std::slice::from_ref(sc))
+                .unwrap()
+                .pop()
+                .unwrap();
+            // Column recurrences are independent, so the batch must match
+            // an isolated run essentially exactly (signed zeros aside).
+            let gap = max_trace_gap(&batch[s], &single);
+            assert!(gap < 1e-12, "scenario {s} diverged by {gap} V");
+            assert_eq!(
+                batch[s].stats.total_pcg_iterations, single.stats.total_pcg_iterations,
+                "scenario {s} iteration accounting changed under batching"
+            );
+        }
+        // The nominal scenario must also match the public single-RHS API.
+        let nominal = simulate_pcg(&pg, &cfg, &pre, &probes).unwrap();
+        assert!(max_trace_gap(&batch[0], &nominal) == 0.0);
+        // Scaled scenarios genuinely differ from nominal.
+        assert!(max_trace_gap(&batch[0], &batch[3]) > 1e-6);
+    }
+
+    #[test]
+    fn direct_batch_matches_independent_runs_per_scenario() {
+        let pg = small_grid();
+        let (near, far) = probe_pair(&pg);
+        let probes = [near, far];
+        let cfg = quick_cfg();
+        let scenarios = scenario_ensemble(&pg, 3);
+        let batch = simulate_direct_batch(&pg, &cfg, &probes, &scenarios).unwrap();
+        for (s, sc) in scenarios.iter().enumerate() {
+            let single = simulate_direct_batch(&pg, &cfg, &probes, std::slice::from_ref(sc))
+                .unwrap()
+                .pop()
+                .unwrap();
+            let gap = max_trace_gap(&batch[s], &single);
+            assert!(gap < 1e-12, "scenario {s} diverged by {gap} V");
+        }
+        let nominal = simulate_direct(&pg, &cfg, &probes).unwrap();
+        assert!(max_trace_gap(&batch[0], &nominal) == 0.0);
+        assert_eq!(batch[0].stats.factorizations, 1);
+    }
+
+    #[test]
+    fn batch_dc_points_match_single_dc_solves() {
+        let pg = small_grid();
+        let scenarios = scenario_ensemble(&pg, 4);
+        let v = dc_operating_points_batch(&pg, &scenarios).unwrap();
+        let g = pg.conductance_matrix();
+        for (s, sc) in scenarios.iter().enumerate() {
+            let b = pg.dc_rhs_scaled(sc.source_scale.as_deref());
+            assert!(g.residual_inf_norm(v.col(s), &b) < 1e-8, "scenario {s}");
+        }
+        // Nominal column agrees with the single-RHS entry point.
+        let single = dc_operating_point(&pg).unwrap();
+        for (a, b) in v.col(0).iter().zip(single.iter()) {
+            assert!((a - b).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn threads_knob_reaches_parallel_kernels_and_preserves_solutions() {
+        let pg = small_grid();
+        let (near, _) = probe_pair(&pg);
+        let cfg = TransientConfig { t_end: 5e-10, pcg_tol: 1e-9, ..Default::default() };
+        let pre = CholPreconditioner::from_matrix(&pg.conductance_matrix()).unwrap();
+        let serial = simulate_pcg(&pg, &cfg, &pre, &[near]).unwrap();
+        for threads in [2usize, 4] {
+            let par =
+                simulate_pcg(&pg, &TransientConfig { threads, ..cfg }, &pre, &[near]).unwrap();
+            // Chunked reductions only change rounding: solutions agree to
+            // solver tolerance and iteration counts stay close.
+            let gap = serial.max_probe_difference(&par, 0, 200);
+            assert!(gap < 1e-6, "threads {threads}: waveforms diverged by {gap} V");
+            let (a, b) = (serial.stats.total_pcg_iterations, par.stats.total_pcg_iterations);
+            assert!(
+                a.abs_diff(b) <= serial.stats.steps * 2 + 4,
+                "threads {threads}: iterations moved from {a} to {b}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Blocked preconditioned conjugate gradient for batches of right-hand
+//! sides sharing one SPD matrix.
+//!
+//! Power-grid transient analysis solves `A x = b` against many right-hand
+//! sides per timestep (one per source scenario). [`block_pcg`] advances
+//! all of them together: every iteration performs **one** SpMM
+//! ([`CscMatrix::mul_multi_into`]) and **one** multi-column preconditioner
+//! apply ([`Preconditioner::apply_multi`]) instead of `k` separate SpMVs
+//! and triangular-solve rounds, so the sparse operands are streamed once
+//! per batch.
+//!
+//! # Equivalence contract
+//!
+//! Columns do **not** share Krylov information: each carries its own
+//! `α`/`β`/residual recurrence, so column `j` of a batch solve performs
+//! exactly the arithmetic of [`crate::pcg::pcg_with_guess`] on
+//! `b.col(j)` at the same thread count — results match column for column
+//! (up to the sign of exact zeros, inherited from the blocked triangular
+//! solves). The win is kernel fusion and factor-stream amortization, not
+//! a different Krylov method; a true shared-subspace block-Krylov variant
+//! is future work (see ROADMAP).
+//!
+//! # Deflation
+//!
+//! Converged (or broken-down) columns are *deflated*: swapped to the back
+//! of the working blocks and truncated away in `O(1)`, so late iterations
+//! only pay for the columns still converging. Deflation never changes the
+//! arithmetic of surviving columns — per-column recurrences are
+//! independent by construction.
+
+use tracered_sparse::{par_dot, par_xpby, CscMatrix, MultiVec};
+
+use crate::pcg::PcgOptions;
+use crate::precond::Preconditioner;
+
+/// Result of a [`block_pcg`] solve. Per-column diagnostics are indexed by
+/// the original right-hand-side column, regardless of deflation order.
+#[derive(Debug, Clone)]
+pub struct BlockPcgSolution {
+    /// Solution block: column `j` solves `A x = b.col(j)`.
+    pub x: MultiVec,
+    /// Iterations each column performed before converging (or stopping).
+    pub iterations: Vec<usize>,
+    /// Final relative residual per column.
+    pub rel_residual: Vec<f64>,
+    /// Whether each column met the tolerance.
+    pub converged: Vec<bool>,
+    /// Block iterations executed (the maximum over column iterations).
+    pub sweeps: usize,
+}
+
+impl BlockPcgSolution {
+    /// `true` when every column converged.
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|&c| c)
+    }
+
+    /// Total PCG iterations summed over columns (the batch analog of the
+    /// paper's `N_i` accounting).
+    pub fn total_iterations(&self) -> usize {
+        self.iterations.iter().sum()
+    }
+}
+
+/// Solves `A X = B` by blocked preconditioned conjugate gradient from
+/// zero initial guesses.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn block_pcg<P: Preconditioner>(
+    a: &CscMatrix,
+    b: &MultiVec,
+    preconditioner: &P,
+    options: &PcgOptions,
+) -> BlockPcgSolution {
+    block_pcg_with_guess(a, b, None, preconditioner, options)
+}
+
+/// Solves `A X = B` starting from an optional block of initial guesses —
+/// the batch transient engine warm-starts every column from the
+/// scenario's previous voltage vector.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn block_pcg_with_guess<P: Preconditioner>(
+    a: &CscMatrix,
+    b: &MultiVec,
+    x0: Option<&MultiVec>,
+    preconditioner: &P,
+    options: &PcgOptions,
+) -> BlockPcgSolution {
+    let n = a.ncols();
+    assert_eq!(a.nrows(), n, "matrix must be square");
+    assert_eq!(b.nrows(), n, "rhs rows must equal n");
+    let k = b.ncols();
+    let t = options.threads.max(1);
+    debug_assert!(
+        t <= 1 || a.is_symmetric_within(1e-9 * matrix_scale(a)),
+        "parallel block PCG requires a symmetric matrix"
+    );
+    let dot_t = |u: &[f64], v: &[f64]| if t <= 1 { dot(u, v) } else { par_dot(u, v, t) };
+    let norm_t = |v: &[f64]| dot_t(v, v).sqrt();
+
+    let mut x = match x0 {
+        Some(g) => {
+            assert_eq!(g.nrows(), n, "guess rows must equal n");
+            assert_eq!(g.ncols(), k, "guess width must match rhs width");
+            g.clone()
+        }
+        None => MultiVec::zeros(n, k),
+    };
+    let mut iterations = vec![0usize; k];
+    let mut rel_residual = vec![0.0f64; k];
+    let mut converged = vec![false; k];
+
+    // Zero right-hand sides are answered with zero columns immediately,
+    // like the single-RHS path; everything else enters the active set.
+    let mut slot2col: Vec<usize> = Vec::with_capacity(k);
+    let mut bnorms: Vec<f64> = Vec::with_capacity(k);
+    for (col, conv) in converged.iter_mut().enumerate() {
+        let bnorm = norm_t(b.col(col));
+        if bnorm == 0.0 {
+            x.col_mut(col).fill(0.0);
+            *conv = true;
+        } else {
+            slot2col.push(col);
+            bnorms.push(bnorm);
+        }
+    }
+    let m0 = slot2col.len();
+
+    // Working blocks hold only active columns; `slot2col` maps their
+    // slots back to original column indices.
+    let mut p_blk = MultiVec::zeros(n, m0);
+    for (s, &col) in slot2col.iter().enumerate() {
+        p_blk.col_mut(s).copy_from_slice(x.col(col));
+    }
+    let mut ap_blk = MultiVec::zeros(n, m0);
+    let spmm = |v: &MultiVec, out: &mut MultiVec| {
+        if t <= 1 {
+            a.mul_multi_into(v, out);
+        } else {
+            a.sym_mul_multi_into_threads(v, out, t);
+        }
+    };
+    spmm(&p_blk, &mut ap_blk);
+    let mut r_blk = MultiVec::zeros(n, m0);
+    for (s, &col) in slot2col.iter().enumerate() {
+        let bc = b.col(col);
+        let axc = ap_blk.col(s);
+        for (i, ri) in r_blk.col_mut(s).iter_mut().enumerate() {
+            *ri = bc[i] - axc[i];
+        }
+    }
+    let mut z_blk = MultiVec::zeros(n, m0);
+    preconditioner.apply_multi(&r_blk, &mut z_blk);
+    let mut rzs: Vec<f64> = Vec::with_capacity(m0);
+    for s in 0..m0 {
+        p_blk.col_mut(s).copy_from_slice(z_blk.col(s));
+        rzs.push(dot_t(r_blk.col(s), z_blk.col(s)));
+        rel_residual[slot2col[s]] = norm_t(r_blk.col(s)) / bnorms[s];
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deflate(
+        s: usize,
+        r: &mut MultiVec,
+        z: &mut MultiVec,
+        p: &mut MultiVec,
+        ap: &mut MultiVec,
+        rzs: &mut Vec<f64>,
+        bnorms: &mut Vec<f64>,
+        slot2col: &mut Vec<usize>,
+    ) {
+        let last = slot2col.len() - 1;
+        for blk in [r, z, p, ap] {
+            blk.swap_cols(s, last);
+            blk.truncate_cols(last);
+        }
+        rzs.swap_remove(s);
+        bnorms.swap_remove(s);
+        slot2col.swap_remove(s);
+    }
+
+    // Columns already at tolerance converge with zero iterations.
+    for s in (0..slot2col.len()).rev() {
+        if rel_residual[slot2col[s]] <= options.rel_tolerance {
+            converged[slot2col[s]] = true;
+            deflate(
+                s,
+                &mut r_blk,
+                &mut z_blk,
+                &mut p_blk,
+                &mut ap_blk,
+                &mut rzs,
+                &mut bnorms,
+                &mut slot2col,
+            );
+        }
+    }
+
+    let mut sweeps = 0usize;
+    while !slot2col.is_empty() && sweeps < options.max_iterations {
+        spmm(&p_blk, &mut ap_blk);
+        // Per-column curvature check; broken-down columns deflate before
+        // the solution update, keeping their best iterate (as the
+        // single-RHS path's `break` does).
+        let mut paps: Vec<f64> = Vec::with_capacity(slot2col.len());
+        for s in 0..slot2col.len() {
+            paps.push(dot_t(p_blk.col(s), ap_blk.col(s)));
+        }
+        for s in (0..slot2col.len()).rev() {
+            if paps[s] <= 0.0 || !paps[s].is_finite() {
+                paps.swap_remove(s);
+                deflate(
+                    s,
+                    &mut r_blk,
+                    &mut z_blk,
+                    &mut p_blk,
+                    &mut ap_blk,
+                    &mut rzs,
+                    &mut bnorms,
+                    &mut slot2col,
+                );
+            }
+        }
+        if slot2col.is_empty() {
+            break;
+        }
+        // x ← x + α p, r ← r − α Ap, fused per column.
+        for s in 0..slot2col.len() {
+            let alpha = rzs[s] / paps[s];
+            let xc = x.col_mut(slot2col[s]);
+            let rc = r_blk.col_mut(s);
+            let pc = p_blk.col(s);
+            let apc = ap_blk.col(s);
+            if t <= 1 {
+                for ((xi, &pi), (ri, &api)) in
+                    xc.iter_mut().zip(pc.iter()).zip(rc.iter_mut().zip(apc.iter()))
+                {
+                    *xi += alpha * pi;
+                    *ri -= alpha * api;
+                }
+            } else {
+                let chunk = tracered_par::chunk_size(n, t, 4096);
+                tracered_par::par_chunks2_mut(xc, rc, chunk, t, |start, xs, rs| {
+                    for off in 0..xs.len() {
+                        xs[off] += alpha * pc[start + off];
+                        rs[off] -= alpha * apc[start + off];
+                    }
+                });
+            }
+        }
+        sweeps += 1;
+        for s in (0..slot2col.len()).rev() {
+            let col = slot2col[s];
+            iterations[col] += 1;
+            let rel = norm_t(r_blk.col(s)) / bnorms[s];
+            rel_residual[col] = rel;
+            if rel <= options.rel_tolerance {
+                converged[col] = true;
+                deflate(
+                    s,
+                    &mut r_blk,
+                    &mut z_blk,
+                    &mut p_blk,
+                    &mut ap_blk,
+                    &mut rzs,
+                    &mut bnorms,
+                    &mut slot2col,
+                );
+            }
+        }
+        if slot2col.is_empty() || sweeps >= options.max_iterations {
+            break;
+        }
+        preconditioner.apply_multi(&r_blk, &mut z_blk);
+        for (s, rz) in rzs.iter_mut().enumerate() {
+            let rz_next = dot_t(r_blk.col(s), z_blk.col(s));
+            let beta = rz_next / *rz;
+            *rz = rz_next;
+            let zc = z_blk.col(s);
+            let pc = p_blk.col_mut(s);
+            if t <= 1 {
+                for (pi, &zi) in pc.iter_mut().zip(zc.iter()) {
+                    *pi = zi + beta * *pi;
+                }
+            } else {
+                par_xpby(pc, beta, zc, t);
+            }
+        }
+    }
+    BlockPcgSolution { x, iterations, rel_residual, converged, sweeps }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Largest absolute stored value, the scale for the debug symmetry check.
+fn matrix_scale(a: &CscMatrix) -> f64 {
+    a.values().iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::{pcg, pcg_with_guess};
+    use crate::precond::{CholPreconditioner, IdentityPreconditioner, JacobiPreconditioner};
+    use tracered_graph::gen::{grid2d, WeightProfile};
+    use tracered_graph::laplacian::laplacian_with_shifts;
+
+    fn system() -> (CscMatrix, MultiVec) {
+        let g = grid2d(9, 11, WeightProfile::LogUniform { lo: 0.4, hi: 3.0 }, 5);
+        let n = g.num_nodes();
+        let a = laplacian_with_shifts(&g, &vec![0.05; n]);
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|c| (0..n).map(|i| ((i * 29 + c * 7) % 23) as f64 - 11.0).collect())
+            .collect();
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        (a, MultiVec::from_columns(&refs).unwrap())
+    }
+
+    #[test]
+    fn block_solve_matches_independent_single_solves() {
+        let (a, b) = system();
+        let pre = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let opts = PcgOptions::with_tolerance(1e-9);
+        let block = block_pcg(&a, &b, &pre, &opts);
+        assert!(block.all_converged());
+        for c in 0..b.ncols() {
+            let single = pcg(&a, b.col(c), &pre, &opts);
+            assert_eq!(single.iterations, block.iterations[c], "column {c} iteration count");
+            assert_eq!(single.converged, block.converged[c]);
+            for (s, m) in single.x.iter().zip(block.x.col(c).iter()) {
+                assert!((s - m).abs() == 0.0, "column {c} solutions diverged");
+            }
+        }
+        assert_eq!(block.sweeps, *block.iterations.iter().max().unwrap());
+        assert!(block.total_iterations() >= block.sweeps);
+    }
+
+    #[test]
+    fn warm_started_block_matches_warm_started_singles() {
+        let (a, b) = system();
+        let pre = CholPreconditioner::from_matrix(&a).unwrap();
+        let opts = PcgOptions::with_tolerance(1e-10);
+        let cold = block_pcg(&a, &b, &pre, &opts);
+        let warm = block_pcg_with_guess(&a, &b, Some(&cold.x), &pre, &opts);
+        for c in 0..b.ncols() {
+            let single = pcg_with_guess(&a, b.col(c), Some(cold.x.col(c)), &pre, &opts);
+            assert_eq!(single.iterations, warm.iterations[c]);
+            assert!(warm.iterations[c] <= 2, "warm start must converge fast");
+        }
+    }
+
+    #[test]
+    fn zero_columns_deflate_immediately() {
+        let (a, b) = system();
+        let n = a.ncols();
+        let zero = vec![0.0; n];
+        let cols = [b.col(0), &zero[..], b.col(1)];
+        let mixed = MultiVec::from_columns(&cols).unwrap();
+        let sol = block_pcg(&a, &mixed, &IdentityPreconditioner, &PcgOptions::with_tolerance(1e-8));
+        assert!(sol.converged[1]);
+        assert_eq!(sol.iterations[1], 0);
+        assert!(sol.x.col(1).iter().all(|&v| v == 0.0));
+        assert!(sol.converged[0] && sol.converged[2]);
+        assert!(a.residual_inf_norm(sol.x.col(0), b.col(0)) < 1e-4);
+    }
+
+    #[test]
+    fn iteration_cap_applies_per_column() {
+        let (a, b) = system();
+        let opts = PcgOptions { rel_tolerance: 1e-14, max_iterations: 3, ..Default::default() };
+        let sol = block_pcg(&a, &b, &IdentityPreconditioner, &opts);
+        assert_eq!(sol.sweeps, 3);
+        for c in 0..b.ncols() {
+            assert!(!sol.converged[c]);
+            assert_eq!(sol.iterations[c], 3);
+        }
+    }
+
+    #[test]
+    fn deflation_keeps_survivor_columns_exact() {
+        // Mix a trivially easy column (preconditioned exactly) with hard
+        // ones: the easy column deflates after the first sweeps and the
+        // others must still match their single-RHS runs bit for bit.
+        let (a, b) = system();
+        let pre = CholPreconditioner::from_matrix(&a).unwrap();
+        let opts = PcgOptions::with_tolerance(1e-12);
+        let block = block_pcg(&a, &b, &pre, &opts);
+        for c in 0..b.ncols() {
+            let single = pcg(&a, b.col(c), &pre, &opts);
+            assert_eq!(single.iterations, block.iterations[c]);
+            for (s, m) in single.x.iter().zip(block.x.col(c).iter()) {
+                assert!((s - m).abs() == 0.0, "column {c} diverged after deflation");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_block_matches_parallel_singles() {
+        let (a, b) = system();
+        let pre = JacobiPreconditioner::from_matrix(&a).unwrap();
+        for threads in [2usize, 4] {
+            let opts = PcgOptions::with_tolerance(1e-9).threads(threads);
+            let block = block_pcg(&a, &b, &pre, &opts);
+            assert!(block.all_converged());
+            for c in 0..b.ncols() {
+                let single = pcg(&a, b.col(c), &pre, &opts);
+                assert_eq!(
+                    single.iterations, block.iterations[c],
+                    "column {c} at {threads} threads"
+                );
+                for (s, m) in single.x.iter().zip(block.x.col(c).iter()) {
+                    assert!((s - m).abs() == 0.0, "column {c} diverged at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (a, _) = system();
+        let b = MultiVec::zeros(a.ncols(), 0);
+        let sol = block_pcg(&a, &b, &IdentityPreconditioner, &PcgOptions::default());
+        assert_eq!(sol.x.ncols(), 0);
+        assert!(sol.iterations.is_empty());
+        assert_eq!(sol.sweeps, 0);
+    }
+}

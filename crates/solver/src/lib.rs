@@ -4,6 +4,9 @@
 //! - [`mod@pcg`]: preconditioned conjugate gradient with pluggable
 //!   preconditioners — the paper evaluates its sparsifiers by the PCG
 //!   iteration counts and runtimes they produce;
+//! - [`block`]: blocked PCG over batches of right-hand sides — one SpMM
+//!   and one multi-column preconditioner apply per iteration, with
+//!   per-column convergence tracking and deflation of converged columns;
 //! - [`precond`]: identity / Jacobi / Cholesky-of-sparsifier
 //!   preconditioners;
 //! - [`direct`]: a convenience direct solver (ordering + factorization +
@@ -34,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod direct;
 pub mod eigen;
 pub mod pcg;
 pub mod precond;
 
+pub use block::{block_pcg, block_pcg_with_guess, BlockPcgSolution};
 pub use direct::DirectSolver;
 pub use pcg::{pcg, PcgOptions, PcgSolution};
 pub use precond::{

@@ -2,7 +2,7 @@
 
 use tracered_sparse::ichol::IncompleteCholesky;
 use tracered_sparse::order::Ordering;
-use tracered_sparse::{CholeskyFactor, CscMatrix, SparseError};
+use tracered_sparse::{CholeskyFactor, CscMatrix, MultiVec, SparseError};
 
 /// Application of a symmetric positive definite preconditioner `M⁻¹`.
 pub trait Preconditioner {
@@ -13,6 +13,27 @@ pub trait Preconditioner {
     /// Implementations may panic when `r.len() != z.len()` or the lengths
     /// disagree with the preconditioner dimension.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Computes `Z = M⁻¹ R` column by column, overwriting `z` — the
+    /// multi-RHS form used by the block-PCG solver.
+    ///
+    /// The default delegates to [`Preconditioner::apply`] per column;
+    /// implementations with a blocked kernel (notably
+    /// [`CholPreconditioner`], whose batched triangular solves stream the
+    /// factor once for all columns) override it. Overrides must keep the
+    /// per-column arithmetic of `apply` (signed zeros excepted) so block
+    /// PCG stays column-for-column equivalent to single-RHS PCG.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when the shapes of `r` and `z` disagree
+    /// with each other or the preconditioner dimension.
+    fn apply_multi(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.ncols(), z.ncols(), "input and output widths must match");
+        for (rc, zc) in r.cols().zip(z.cols_mut()) {
+            self.apply(rc, zc);
+        }
+    }
 
     /// Estimated memory footprint of the preconditioner in bytes.
     fn memory_bytes(&self) -> usize {
@@ -108,6 +129,10 @@ impl Preconditioner for CholPreconditioner {
         self.factor.solve_into(r, z);
     }
 
+    fn apply_multi(&self, r: &MultiVec, z: &mut MultiVec) {
+        self.factor.solve_multi_into(r, z);
+    }
+
     fn memory_bytes(&self) -> usize {
         self.factor.memory_bytes()
     }
@@ -195,6 +220,28 @@ mod tests {
         // spd() has an arrow-free pattern (only (0,1) off-diagonal), so
         // IC(0) is exact here.
         assert!(a.residual_inf_norm(&z, &[1.0, 2.0, 3.0]) < 1e-12);
+    }
+
+    #[test]
+    fn apply_multi_matches_apply_per_column() {
+        let a = spd();
+        let cols = [vec![1.0, 2.0, 3.0], vec![-4.0, 0.0, 2.5]];
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let r = MultiVec::from_columns(&refs).unwrap();
+        let chol = CholPreconditioner::from_matrix(&a).unwrap();
+        let jacobi = JacobiPreconditioner::from_matrix(&a).unwrap();
+        let pres: [&dyn Preconditioner; 3] = [&chol, &jacobi, &IdentityPreconditioner];
+        for pre in pres {
+            let mut z = MultiVec::zeros(3, 2);
+            pre.apply_multi(&r, &mut z);
+            for (c, col) in cols.iter().enumerate() {
+                let mut single = vec![0.0; 3];
+                pre.apply(col, &mut single);
+                for (s, m) in single.iter().zip(z.col(c).iter()) {
+                    assert!((s - m).abs() == 0.0, "column {c}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -72,3 +72,40 @@ fn threads_builder_floors_at_one() {
     assert_eq!(s1.iterations, s2.iterations);
     assert!(s1.x.iter().zip(s2.x.iter()).all(|(a, b)| a.to_bits() == b.to_bits()));
 }
+
+#[test]
+fn block_pcg_columns_match_single_rhs_across_thread_counts() {
+    // The batched subsystem's equivalence contract at integration scale:
+    // a width-k block solve is column-for-column identical to k
+    // independent single-RHS solves, at every thread count.
+    use tracered_solver::block::block_pcg;
+    use tracered_sparse::MultiVec;
+
+    let g = tri_mesh(20, 20, WeightProfile::LogUniform { lo: 0.3, hi: 3.0 }, 9);
+    let sp = sparsify(&g, &SparsifyConfig::new(Method::TraceReduction)).unwrap();
+    let lg = sp.graph_laplacian(&g);
+    let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g)).unwrap();
+    let n = g.num_nodes();
+    let cols: Vec<Vec<f64>> =
+        (0..6).map(|c| (0..n).map(|i| ((i * 17 + c * 29) % 31) as f64 - 15.0).collect()).collect();
+    let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+    let b = MultiVec::from_columns(&refs).unwrap();
+    for threads in [1usize, 2, 4] {
+        let opts = PcgOptions::with_tolerance(1e-8).threads(threads);
+        let block = block_pcg(&lg, &b, &pre, &opts);
+        assert!(block.all_converged(), "{threads}-thread block PCG failed to converge");
+        for (c, col) in cols.iter().enumerate() {
+            let single = pcg(&lg, col, &pre, &opts);
+            assert_eq!(
+                single.iterations, block.iterations[c],
+                "column {c} iteration count at {threads} threads"
+            );
+            for (s, m) in single.x.iter().zip(block.x.col(c).iter()) {
+                assert!(
+                    (s - m).abs() == 0.0,
+                    "column {c} diverged from single-RHS PCG at {threads} threads"
+                );
+            }
+        }
+    }
+}

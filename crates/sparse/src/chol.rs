@@ -9,6 +9,7 @@
 use crate::csc::CscMatrix;
 use crate::error::SparseError;
 use crate::etree::{self, NO_PARENT};
+use crate::multivec::MultiVec;
 use crate::order::Ordering;
 use crate::perm::Permutation;
 
@@ -180,6 +181,50 @@ impl CholeskyFactor {
         }
     }
 
+    /// Solves `A X = B` for a whole block of right-hand sides through the
+    /// blocked substitutions [`lsolve_multi_in_place`] /
+    /// [`ltsolve_multi_in_place`]: the factor is streamed **once** for all
+    /// `k` columns instead of once per column, which is where the batched
+    /// transient engine's per-RHS amortization comes from. Column `j` of
+    /// the result equals `self.solve(b.col(j))` exactly, except that
+    /// signed zeros may differ (see the substitution kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows() != self.n()`.
+    pub fn solve_multi(&self, b: &MultiVec) -> MultiVec {
+        let mut x = MultiVec::zeros(self.n(), b.ncols());
+        self.solve_multi_into(b, &mut x);
+        x
+    }
+
+    /// [`CholeskyFactor::solve_multi`] writing through a reusable block,
+    /// avoiding the allocation. `x` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `b` and `x` disagree with the factor.
+    pub fn solve_multi_into(&self, b: &MultiVec, x: &mut MultiVec) {
+        let n = self.n();
+        assert_eq!(b.nrows(), n, "rhs rows must equal n");
+        assert_eq!(x.nrows(), n, "output rows must equal n");
+        assert_eq!(x.ncols(), b.ncols(), "output width must match rhs width");
+        for (bc, xc) in b.cols().zip(x.cols_mut()) {
+            for k in 0..n {
+                xc[k] = bc[self.perm.new_to_old(k)];
+            }
+        }
+        lsolve_multi_in_place(&self.l, x);
+        ltsolve_multi_in_place(&self.l, x);
+        let mut tmp = vec![0.0; n];
+        for xc in x.cols_mut() {
+            tmp.copy_from_slice(xc);
+            for k in 0..n {
+                xc[self.perm.new_to_old(k)] = tmp[k];
+            }
+        }
+    }
+
     /// Solves `L y = e_i` style systems in the **permuted** index space:
     /// applies the forward substitution only, on a caller-managed dense
     /// vector. Used by the trace-reduction kernels that work directly with
@@ -285,6 +330,65 @@ pub fn ltsolve_in_place(l: &CscMatrix, x: &mut [f64]) {
             xj -= values[p] * x[rowidx[p]];
         }
         x[j] = xj / values[colptr[j]];
+    }
+}
+
+/// Blocked in-place forward substitution `X ← L⁻¹ X` over every column
+/// of a multi-vector.
+///
+/// Each column of `L` is applied to all `k` right-hand sides before
+/// moving on, so the factor — the dominant memory traffic of a sparse
+/// triangular solve — is streamed once for the whole batch instead of
+/// once per column. Per column the arithmetic (division and update
+/// order) is identical to [`lsolve_in_place`]; the only permitted
+/// difference is the sign of zeros, because the single-vector kernel
+/// skips updates for exactly-zero solution entries while the blocked
+/// kernel applies them.
+///
+/// # Panics
+///
+/// Panics if `x.nrows() != l.ncols()`.
+pub fn lsolve_multi_in_place(l: &CscMatrix, x: &mut MultiVec) {
+    let n = l.ncols();
+    assert_eq!(x.nrows(), n, "multi-vector rows must equal n");
+    let colptr = l.colptr();
+    let rowidx = l.rowidx();
+    let values = l.values();
+    for j in 0..n {
+        let d = values[colptr[j]];
+        for xc in x.cols_mut() {
+            let xj = xc[j] / d;
+            xc[j] = xj;
+            for p in (colptr[j] + 1)..colptr[j + 1] {
+                xc[rowidx[p]] -= values[p] * xj;
+            }
+        }
+    }
+}
+
+/// Blocked in-place backward substitution `X ← L⁻ᵀ X` over every column
+/// of a multi-vector; the blocked counterpart of [`ltsolve_in_place`]
+/// with the same once-per-batch factor streaming as
+/// [`lsolve_multi_in_place`], and bit-identical per-column arithmetic.
+///
+/// # Panics
+///
+/// Panics if `x.nrows() != l.ncols()`.
+pub fn ltsolve_multi_in_place(l: &CscMatrix, x: &mut MultiVec) {
+    let n = l.ncols();
+    assert_eq!(x.nrows(), n, "multi-vector rows must equal n");
+    let colptr = l.colptr();
+    let rowidx = l.rowidx();
+    let values = l.values();
+    for j in (0..n).rev() {
+        let d = values[colptr[j]];
+        for xc in x.cols_mut() {
+            let mut xj = xc[j];
+            for p in (colptr[j] + 1)..colptr[j + 1] {
+                xj -= values[p] * xc[rowidx[p]];
+            }
+            xc[j] = xj / d;
+        }
     }
 }
 
@@ -459,6 +563,63 @@ mod tests {
         let y = ld.matvec(&x);
         for (a, b) in y.iter().zip(orig.iter()) {
             assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_multi_matches_column_solves_exactly() {
+        let a = grid_laplacian_shifted(5, 0.6);
+        let n = a.ncols();
+        for ord in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree] {
+            let f = CholeskyFactor::factorize(&a, ord).unwrap();
+            let cols: Vec<Vec<f64>> =
+                (0..4).map(|c| (0..n).map(|i| ((i * 7 + c * 13) as f64).sin()).collect()).collect();
+            let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+            let b = MultiVec::from_columns(&refs).unwrap();
+            let x = f.solve_multi(&b);
+            assert_eq!(x.ncols(), 4);
+            for (c, col) in cols.iter().enumerate() {
+                let single = f.solve(col);
+                for (i, (s, m)) in single.iter().zip(x.col(c).iter()).enumerate() {
+                    assert!(
+                        (s - m).abs() == 0.0,
+                        "column {c} row {i} under {ord:?}: single {s} vs multi {m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_into_reuses_buffer() {
+        let a = grid_laplacian_shifted(4, 0.9);
+        let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        let b = MultiVec::broadcast(&vec![1.0; a.ncols()], 3);
+        let mut x = MultiVec::zeros(a.ncols(), 3);
+        f.solve_multi_into(&b, &mut x);
+        for c in 0..3 {
+            assert!(a.residual_inf_norm(x.col(c), b.col(c)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn blocked_substitutions_match_serial_per_column() {
+        let a = grid_laplacian_shifted(5, 0.4);
+        let f = CholeskyFactor::factorize(&a, Ordering::Rcm).unwrap();
+        let n = f.n();
+        let cols: Vec<Vec<f64>> =
+            (0..3).map(|c| (0..n).map(|i| ((i + c * 17) as f64) * 0.1 - 2.0).collect()).collect();
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let mut block = MultiVec::from_columns(&refs).unwrap();
+        lsolve_multi_in_place(f.l(), &mut block);
+        ltsolve_multi_in_place(f.l(), &mut block);
+        for (c, col) in cols.iter().enumerate() {
+            let mut single = col.clone();
+            lsolve_in_place(f.l(), &mut single);
+            ltsolve_in_place(f.l(), &mut single);
+            for (s, m) in single.iter().zip(block.col(c).iter()) {
+                assert!((s - m).abs() == 0.0, "column {c} diverged");
+            }
         }
     }
 

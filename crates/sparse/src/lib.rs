@@ -13,7 +13,12 @@
 //! - sparse triangular solves and a convenience SDD solver;
 //! - the paper's **Algorithm 1**: a structure-aware sparse approximate
 //!   inverse of the Cholesky factor ([`spai`]);
-//! - a small dense-matrix module ([`dense`]) used as a test oracle.
+//! - a small dense-matrix module ([`dense`]) used as a test oracle;
+//! - a column-major multi-vector ([`multivec`]) with blocked multi-RHS
+//!   kernels: batched triangular solves ([`CholeskyFactor::solve_multi`])
+//!   and symmetric SpMM ([`CscMatrix::mul_multi`],
+//!   [`CscMatrix::sym_mul_multi_into_threads`]) that stream the sparse
+//!   operand once per batch.
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@ pub mod dense;
 pub mod error;
 pub mod etree;
 pub mod ichol;
+pub mod multivec;
 pub mod order;
 pub mod perm;
 pub mod spai;
@@ -61,5 +67,6 @@ pub use csc::{par_axpy, par_dot, par_xpby, CscMatrix};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
+pub use multivec::MultiVec;
 pub use perm::Permutation;
 pub use spai::{ApproxInverse, SpaiOptions};

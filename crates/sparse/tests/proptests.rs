@@ -5,7 +5,7 @@ use tracered_sparse::ichol::IncompleteCholesky;
 use tracered_sparse::order::{nested_dissection, Ordering};
 use tracered_sparse::sparsevec::SparseVec;
 use tracered_sparse::{
-    ApproxInverse, CholeskyFactor, CooMatrix, CscMatrix, Permutation, SpaiOptions,
+    ApproxInverse, CholeskyFactor, CooMatrix, CscMatrix, MultiVec, Permutation, SpaiOptions,
 };
 
 /// Strategy: a connected weighted graph on `n` nodes given as a random
@@ -65,6 +65,57 @@ proptest! {
         let x2 = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap().solve(&b);
         for (a1, a2) in x1.iter().zip(x2.iter()) {
             prop_assert!((a1 - a2).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn solve_multi_columns_match_single_solves((n, edges) in arb_connected_graph(), k in 1usize..6) {
+        let a = laplacian(n, &edges, 0.15);
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|c| (0..n).map(|i| ((i * 11 + c * 5) % 9) as f64 - 4.0).collect())
+            .collect();
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let b = MultiVec::from_columns(&refs).unwrap();
+        for ord in [Ordering::Natural, Ordering::MinDegree] {
+            let f = CholeskyFactor::factorize(&a, ord).unwrap();
+            let x = f.solve_multi(&b);
+            for (c, col) in cols.iter().enumerate() {
+                let single = f.solve(col);
+                for (s, m) in single.iter().zip(x.col(c).iter()) {
+                    // Bit-identical up to signed zeros (documented bound:
+                    // the blocked kernel applies, rather than skips,
+                    // exactly-zero updates).
+                    prop_assert!((s - m).abs() == 0.0, "ordering {ord:?} column {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_columns_match_matvec_across_thread_counts((n, edges) in arb_connected_graph(), k in 1usize..5) {
+        let a = laplacian(n, &edges, 0.1);
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|c| (0..n).map(|i| ((i * 3 + c) % 7) as f64 - 3.0).collect())
+            .collect();
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let x = MultiVec::from_columns(&refs).unwrap();
+        let y = a.mul_multi(&x);
+        for (c, col) in cols.iter().enumerate() {
+            let single = a.matvec(col);
+            for (s, m) in single.iter().zip(y.col(c).iter()) {
+                prop_assert_eq!(s.to_bits(), m.to_bits(), "serial SpMM column {}", c);
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            let mut yp = MultiVec::zeros(n, k);
+            a.sym_mul_multi_into_threads(&x, &mut yp, threads);
+            for (c, col) in cols.iter().enumerate() {
+                let mut single = vec![0.0; n];
+                a.sym_matvec_into_threads(col.as_slice(), &mut single, 1);
+                for (s, m) in single.iter().zip(yp.col(c).iter()) {
+                    prop_assert_eq!(s.to_bits(), m.to_bits(), "{} threads column {}", threads, c);
+                }
+            }
         }
     }
 
