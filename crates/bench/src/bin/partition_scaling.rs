@@ -1,0 +1,207 @@
+//! Partition-scaling benchmark for the partition-parallel densification
+//! pipeline (`sparsify_partitioned`).
+//!
+//! Builds a rectangular 2-D grid (simple λ₂, so the spectral decomposition
+//! is seed-invariant), then sweeps partitions × threads and records, per
+//! cell: total sparsification time with its partition/densify/stitch
+//! breakdown, the decomposition quality (edge cut, balance ratio), and the
+//! stitched sparsifier's relative condition number against the
+//! unpartitioned `sparsify` baseline.
+//!
+//! Every record carries `available_parallelism` so single-core containers
+//! (where thread sweeps cannot show real speedups) are machine-detectable
+//! on re-runs. `--check` asserts the subsystem's contracts: identical
+//! stitched edge sets at every thread count, and κ within the documented
+//! 2× tolerance of the global baseline.
+//!
+//! Usage: `cargo run --release -p tracered-bench --bin partition_scaling --
+//! [--scale 1.0] [--parts 1,2,4,8] [--threads 1,2,4] [--out BENCH_pr3.json]
+//! [--check]`
+
+use std::time::Instant;
+
+use tracered_bench::{available_parallelism, write_bench_json, BenchRecord};
+use tracered_core::metrics::relative_condition_number;
+use tracered_core::{sparsify, PartitionedConfig, Sparsifier, SparsifyConfig};
+use tracered_graph::gen::{grid2d, WeightProfile};
+use tracered_graph::Graph;
+use tracered_sparse::order::Ordering;
+use tracered_sparse::CholeskyFactor;
+
+/// The documented partitioned-vs-global quality envelope (see
+/// `crates/core/tests/partitioned_quality.rs`).
+const KAPPA_TOLERANCE: f64 = 2.0;
+
+struct Args {
+    scale: f64,
+    parts: Vec<usize>,
+    threads: Vec<usize>,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1.0,
+        parts: vec![1, 2, 4, 8],
+        threads: vec![1, 2, 4],
+        out: "BENCH_pr3.json".to_string(),
+        check: false,
+    };
+    let parse_list = |spec: String| -> Vec<usize> {
+        spec.split(',')
+            .map(|t| t.trim().parse().expect("list entries must be positive integers"))
+            .collect()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale requires a positive number");
+            }
+            "--parts" => args.parts = parse_list(it.next().expect("--parts requires a list")),
+            "--threads" => {
+                args.threads = parse_list(it.next().expect("--threads requires a list"));
+            }
+            "--out" => args.out = it.next().expect("--out requires a path"),
+            "--check" => args.check = true,
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    assert!(args.scale > 0.0, "--scale must be positive");
+    assert!(!args.parts.is_empty() && args.parts.iter().all(|&k| k > 0));
+    assert!(!args.threads.is_empty() && args.threads.iter().all(|&t| t > 0));
+    args
+}
+
+fn kappa(g: &Graph, sp: &Sparsifier) -> f64 {
+    let lg = sp.graph_laplacian(g);
+    let f = CholeskyFactor::factorize(&sp.laplacian(g), Ordering::MinDegree)
+        .expect("sparsifier Laplacian is SPD");
+    relative_condition_number(&lg, &f, 60, 2024)
+}
+
+fn main() {
+    let args = parse_args();
+    // 180×150 at scale 1.0: 27,000 nodes, 53,670 edges. Rectangular so
+    // every recursion level of the spectral bisection has a simple λ₂.
+    let rows = ((180.0 * args.scale.sqrt()).round() as usize).max(12);
+    let cols = ((150.0 * args.scale.sqrt()).round() as usize).max(10);
+    let g = grid2d(rows, cols, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 42);
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    println!(
+        "grid {rows}x{cols}: {n} nodes, {m} edges; available parallelism {}",
+        available_parallelism()
+    );
+
+    // Unpartitioned baseline (serial scoring, like the partition jobs).
+    let t0 = Instant::now();
+    let global = sparsify(&g, &SparsifyConfig::default()).expect("grid is connected");
+    let global_s = t0.elapsed().as_secs_f64();
+    let global_kappa = kappa(&g, &global);
+    println!(
+        "global sparsify: {global_s:.3}s, κ {global_kappa:.2}, {} edges",
+        global.edge_ids().len()
+    );
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    records.push(
+        BenchRecord::new()
+            .str("bench", "sparsify_global")
+            .str("case", "grid2d-log")
+            .int("nodes", n as i64)
+            .int("edges", m as i64)
+            .int("available_parallelism", available_parallelism() as i64)
+            .num("seconds", global_s)
+            .num("kappa", global_kappa)
+            .int("sparsifier_edges", global.edge_ids().len() as i64),
+    );
+
+    let mut check_failures: Vec<String> = Vec::new();
+    for &k in &args.parts {
+        // Contract: the stitched edge set is a function of the seed only,
+        // never of the thread count.
+        let mut reference_edges: Option<Vec<usize>> = None;
+        let mut serial_s: Option<f64> = None;
+        for &t in &args.threads {
+            let cfg = PartitionedConfig::new(k).threads(Some(t));
+            let t0 = Instant::now();
+            let psp = sparsify_partitioned_checked(&g, &cfg);
+            let secs = t0.elapsed().as_secs_f64();
+            let pr = psp.partition_report();
+            let sp = psp.sparsifier();
+            match &reference_edges {
+                None => reference_edges = Some(sp.edge_ids().to_vec()),
+                Some(reference) => {
+                    if reference != sp.edge_ids() {
+                        let msg = format!("parts {k}: stitched edge set changed at {t} threads");
+                        if args.check {
+                            check_failures.push(msg);
+                        } else {
+                            eprintln!("warning: {msg}");
+                        }
+                    }
+                }
+            }
+            let base = *serial_s.get_or_insert(secs);
+            let kap = kappa(&g, sp);
+            let ratio = kap / global_kappa;
+            records.push(
+                BenchRecord::new()
+                    .str("bench", "sparsify_partitioned")
+                    .str("case", "grid2d-log")
+                    .int("nodes", n as i64)
+                    .int("edges", m as i64)
+                    .int("parts", k as i64)
+                    .int("threads", t as i64)
+                    .int("available_parallelism", available_parallelism() as i64)
+                    .num("seconds", secs)
+                    .num("speedup_vs_first", base / secs)
+                    .num("partition_time", pr.partition_time.as_secs_f64())
+                    .num("densify_time", pr.densify_time.as_secs_f64())
+                    .num("stitch_time", pr.stitch_time.as_secs_f64())
+                    .int("cut_edges", pr.cut.count as i64)
+                    .num("cut_weight", pr.cut.weight)
+                    .num("balance_ratio", pr.balance_ratio)
+                    .int("connector_edges", pr.connector_edges as i64)
+                    .int("boundary_recovered", pr.boundary_recovered as i64)
+                    .int("sparsifier_edges", sp.edge_ids().len() as i64)
+                    .num("kappa", kap)
+                    .num("kappa_vs_global", ratio),
+            );
+            println!(
+                "parts {k} threads {t}: {secs:.3}s (partition {:.3}s, densify {:.3}s, \
+                 stitch {:.3}s), cut {} edges, balance {:.3}, κ {kap:.2} ({ratio:.2}× global)",
+                pr.partition_time.as_secs_f64(),
+                pr.densify_time.as_secs_f64(),
+                pr.stitch_time.as_secs_f64(),
+                pr.cut.count,
+                pr.balance_ratio,
+            );
+            if args.check && k > 1 && ratio > KAPPA_TOLERANCE {
+                check_failures.push(format!(
+                    "parts {k} threads {t}: κ ratio {ratio:.2} exceeds the documented \
+                     {KAPPA_TOLERANCE}× tolerance"
+                ));
+            }
+        }
+    }
+
+    write_bench_json(&args.out, &records).expect("writing the bench JSON must succeed");
+    println!("wrote {} records to {}", records.len(), args.out);
+    if !check_failures.is_empty() {
+        panic!("partitioned checks failed: {}", check_failures.join("; "));
+    }
+}
+
+/// `sparsify_partitioned` with bench-appropriate panics.
+fn sparsify_partitioned_checked(
+    g: &Graph,
+    cfg: &PartitionedConfig,
+) -> tracered_core::PartitionedSparsifier {
+    tracered_core::sparsify_partitioned(g, cfg).expect("bench grid is connected and well-formed")
+}

@@ -49,9 +49,14 @@ pub mod exact;
 pub mod grass;
 pub mod jl;
 pub mod metrics;
+pub mod partitioned;
 pub mod similarity;
 pub mod sparsify;
 
 pub use config::{Method, SparsifyConfig};
 pub use error::CoreError;
+pub use partitioned::{
+    sparsify_partitioned, BoundaryPolicy, PartitionStats, PartitionedConfig, PartitionedReport,
+    PartitionedSparsifier,
+};
 pub use sparsify::{sparsify, IterationStats, Sparsifier, SparsifyReport};

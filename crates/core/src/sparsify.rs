@@ -107,6 +107,18 @@ pub struct Sparsifier {
 }
 
 impl Sparsifier {
+    /// Assembles a sparsifier from already-selected parts — used by the
+    /// partitioned driver to stitch per-partition results into one global
+    /// sparsifier. `edge_ids` must hold the spanning-tree edges first.
+    pub(crate) fn from_parts(
+        edge_ids: Vec<usize>,
+        tree_edge_count: usize,
+        shifts: Vec<f64>,
+        report: SparsifyReport,
+    ) -> Self {
+        Sparsifier { edge_ids, tree_edge_count, shifts, report }
+    }
+
     /// Edge ids (into the original graph) forming the sparsifier, spanning
     /// tree first.
     pub fn edge_ids(&self) -> &[usize] {
@@ -163,6 +175,20 @@ impl Sparsifier {
     }
 }
 
+/// The node with the largest weighted degree — the root the drivers hang
+/// their scoring trees from (keeps BFS trees shallow on meshes). Shared
+/// by [`sparsify`] and the partitioned driver's boundary-scoring path so
+/// both score against identically-rooted trees.
+pub(crate) fn heaviest_node(g: &Graph) -> usize {
+    (0..g.num_nodes())
+        .max_by(|&a, &b| {
+            g.weighted_degree(a)
+                .partial_cmp(&g.weighted_degree(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0)
+}
+
 /// Runs graph spectral sparsification (paper Algorithm 2, or one of the
 /// baselines selected by [`SparsifyConfig::new`]).
 ///
@@ -187,15 +213,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
     // Step 1: low-stretch spanning tree.
     let t_tree = Instant::now();
     let st = spanning_tree(g, cfg.tree_kind_value())?;
-    // Root at the heaviest node: keeps BFS trees shallow on meshes.
-    let root = (0..n)
-        .max_by(|&a, &b| {
-            g.weighted_degree(a)
-                .partial_cmp(&g.weighted_degree(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .unwrap_or(0);
-    let tree = RootedTree::build(g, &st.tree_edges, root)?;
+    let tree = RootedTree::build(g, &st.tree_edges, heaviest_node(g))?;
     let tree_time = t_tree.elapsed();
 
     let budget =

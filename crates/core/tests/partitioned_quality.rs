@@ -1,0 +1,127 @@
+//! Partitioned-vs-global quality contract: the stitched sparsifier from
+//! `sparsify_partitioned` must stay in the same conditioning league as
+//! the unpartitioned `sparsify` on the same graph, and must be exactly
+//! deterministic at every thread count.
+//!
+//! Documented tolerance (also stated on [`tracered_core::sparsify_partitioned`]
+//! and in the README): with the default scored boundary policy
+//! (fraction 1.0 — one recovered separator-zone edge per separator
+//! node), the stitched sparsifier's relative condition number
+//! κ(L_G, L_P) is within **2×** the global driver's on the mesh test
+//! suite (observed ≈ 1.0× on 27k-node grids, often *below* 1× on small
+//! meshes where the separator gets a relatively denser budget).
+//! Partitioning blinds each local scorer to the separator coupling, so
+//! the factor-2 envelope is what the boundary scoring path must
+//! preserve.
+
+use tracered_core::metrics::relative_condition_number;
+use tracered_core::{
+    sparsify, sparsify_partitioned, BoundaryPolicy, PartitionedConfig, Sparsifier, SparsifyConfig,
+};
+use tracered_graph::gen::{grid2d, tri_mesh, WeightProfile};
+use tracered_graph::Graph;
+use tracered_sparse::order::Ordering;
+use tracered_sparse::CholeskyFactor;
+
+fn kappa(g: &Graph, sp: &Sparsifier) -> f64 {
+    let lg = sp.graph_laplacian(g);
+    let lp = sp.laplacian(g);
+    let f = CholeskyFactor::factorize(&lp, Ordering::MinDegree).unwrap();
+    relative_condition_number(&lg, &f, 60, 42)
+}
+
+/// The documented quality envelope of the partitioned pipeline.
+const KAPPA_TOLERANCE: f64 = 2.0;
+
+#[test]
+fn stitched_quality_within_documented_tolerance_of_global() {
+    for (g, label) in [
+        (grid2d(18, 15, WeightProfile::Unit, 3), "grid2d-unit"),
+        (tri_mesh(16, 12, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 7), "trimesh-log"),
+    ] {
+        let global = sparsify(&g, &SparsifyConfig::default()).unwrap();
+        let k_global = kappa(&g, &global);
+        for parts in [2usize, 4] {
+            let psp = sparsify_partitioned(&g, &PartitionedConfig::new(parts)).unwrap();
+            let k_part = kappa(&g, psp.sparsifier());
+            assert!(k_part >= 1.0 && k_global >= 1.0);
+            assert!(
+                k_part <= k_global * KAPPA_TOLERANCE,
+                "{label} k={parts}: partitioned κ {k_part} exceeds {KAPPA_TOLERANCE}× \
+                 global κ {k_global}"
+            );
+        }
+    }
+}
+
+#[test]
+fn keep_all_and_scored_boundary_policies_are_comparable() {
+    let g = tri_mesh(14, 11, WeightProfile::LogUniform { lo: 0.5, hi: 2.0 }, 5);
+    let scored = sparsify_partitioned(&g, &PartitionedConfig::new(4)).unwrap();
+    let keep_all =
+        sparsify_partitioned(&g, &PartitionedConfig::new(4).boundary(BoundaryPolicy::KeepAll))
+            .unwrap();
+    let k_scored = kappa(&g, scored.sparsifier());
+    let k_keep = kappa(&g, keep_all.sparsifier());
+    // KeepAll retains every cut edge; scored draws the same budget from
+    // the wider separator zone by criticality. Both must land in the
+    // same conditioning league (slack for the different edge mixes).
+    assert!(
+        k_keep <= k_scored * 1.5 && k_scored <= k_keep * 1.5,
+        "keep-all κ {k_keep} and scored κ {k_scored} diverged"
+    );
+    // The scored budget is bounded by the separator size.
+    let pr = scored.partition_report();
+    assert!(pr.boundary_recovered <= g.num_nodes(), "budget must stay bounded");
+    // KeepAll recovers exactly the non-connector cut edges.
+    let pk = keep_all.partition_report();
+    assert_eq!(pk.boundary_recovered + pk.connector_edges, pk.cut.count);
+}
+
+#[test]
+fn deterministic_for_fixed_seed_at_every_thread_count() {
+    let g = tri_mesh(15, 12, WeightProfile::LogUniform { lo: 0.3, hi: 3.0 }, 13);
+    for parts in [2usize, 4] {
+        let reference =
+            sparsify_partitioned(&g, &PartitionedConfig::new(parts).threads(Some(1))).unwrap();
+        for threads in [2usize, 4] {
+            let run =
+                sparsify_partitioned(&g, &PartitionedConfig::new(parts).threads(Some(threads)))
+                    .unwrap();
+            assert_eq!(
+                reference.sparsifier().edge_ids(),
+                run.sparsifier().edge_ids(),
+                "k={parts}: edge selection changed at {threads} threads"
+            );
+            assert_eq!(reference.assignment(), run.assignment());
+            assert_eq!(
+                reference.sparsifier().tree_edge_count(),
+                run.sparsifier().tree_edge_count()
+            );
+            assert_eq!(run.partition_report().threads, threads);
+        }
+        // And the κ of the (identical) edge set is by construction equal.
+        assert_eq!(
+            reference.partition_report().boundary_recovered,
+            sparsify_partitioned(&g, &PartitionedConfig::new(parts).threads(Some(4)))
+                .unwrap()
+                .partition_report()
+                .boundary_recovered
+        );
+    }
+}
+
+#[test]
+fn partitioned_beats_tree_only_baseline() {
+    // The recovered edges (local + boundary) must actually help: the
+    // stitched sparsifier conditions better than its own spanning tree.
+    let g = grid2d(16, 13, WeightProfile::Unit, 9);
+    let psp = sparsify_partitioned(&g, &PartitionedConfig::new(4)).unwrap();
+    let tree_only = sparsify(&g, &SparsifyConfig::default().edge_fraction(0.0)).unwrap();
+    let k_part = kappa(&g, psp.sparsifier());
+    let k_tree = kappa(&g, &tree_only);
+    assert!(
+        k_part < k_tree,
+        "partitioned sparsifier κ {k_part} must beat the bare tree κ {k_tree}"
+    );
+}

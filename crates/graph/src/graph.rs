@@ -231,6 +231,23 @@ impl Graph {
     ///
     /// Panics if `nodes` contains duplicates or out-of-bounds ids.
     pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let (sub, node_map, _) = self.induced_subgraph_with_edges(nodes);
+        (sub, node_map)
+    }
+
+    /// Builds the subgraph induced by a node subset like
+    /// [`Graph::induced_subgraph`], additionally returning the edge map
+    /// (`edge_map[local_edge] = global_edge`) — the view partitioned
+    /// pipelines need to translate locally-selected edges back to parent
+    /// edge ids.
+    ///
+    /// Local edges appear in parent edge-id order, so the mapping is
+    /// strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or out-of-bounds ids.
+    pub fn induced_subgraph_with_edges(&self, nodes: &[usize]) -> (Graph, Vec<usize>, Vec<usize>) {
         let mut old_to_new = vec![usize::MAX; self.num_nodes];
         for (new, &old) in nodes.iter().enumerate() {
             assert!(old < self.num_nodes, "node {old} out of bounds");
@@ -238,15 +255,17 @@ impl Graph {
             old_to_new[old] = new;
         }
         let mut edges = Vec::new();
-        for e in &self.edges {
+        let mut edge_map = Vec::new();
+        for (id, e) in self.edges.iter().enumerate() {
             let (nu, nv) = (old_to_new[e.u], old_to_new[e.v]);
             if nu != usize::MAX && nv != usize::MAX {
                 edges.push(Edge::new(nu, nv, e.weight));
+                edge_map.push(id);
             }
         }
         let sub = Graph::from_edge_list(nodes.len(), edges)
             .expect("relabeled edges of a valid graph are valid");
-        (sub, nodes.to_vec())
+        (sub, nodes.to_vec(), edge_map)
     }
 
     /// Node sets of the connected components, largest first.
@@ -379,6 +398,28 @@ mod tests {
         assert_eq!(map, vec![1, 2, 4]);
         let (e0u, e0v) = (sub.edge(0).u, sub.edge(0).v);
         assert_eq!((map[e0u], map[e0v]), (1, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_with_edges_maps_back_to_parent_ids() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (4, 5, 5.0), (1, 4, 6.0)],
+        )
+        .unwrap();
+        let (sub, node_map, edge_map) = g.induced_subgraph_with_edges(&[1, 2, 4, 5]);
+        assert_eq!(sub.num_nodes(), 4);
+        // Surviving edges: (1,2)=id 1, (4,5)=id 4, (1,4)=id 5.
+        assert_eq!(edge_map, vec![1, 4, 5]);
+        assert_eq!(node_map, vec![1, 2, 4, 5]);
+        for (local, &global) in edge_map.iter().enumerate() {
+            let le = sub.edge(local);
+            let ge = g.edge(global);
+            assert_eq!(ge.weight, le.weight);
+            assert_eq!((node_map[le.u], node_map[le.v]), (ge.u, ge.v));
+        }
+        // Edge map is strictly increasing (parent edge-id order).
+        assert!(edge_map.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 #![warn(missing_docs)]
 
 use tracered_graph::laplacian::laplacian_with_shifts;
-use tracered_graph::Graph;
+use tracered_graph::{Edge, Graph};
 use tracered_solver::eigen::fiedler_vector;
 use tracered_solver::pcg::{pcg, PcgOptions};
 use tracered_solver::precond::CholPreconditioner;
@@ -141,6 +141,45 @@ pub struct KWayPartition {
     pub cut_weight: f64,
 }
 
+/// Quality metrics of a partition's edge cut (see
+/// [`KWayPartition::edge_cut`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeCut {
+    /// Number of edges whose endpoints lie in different parts.
+    pub count: usize,
+    /// Total weight of those edges.
+    pub weight: f64,
+    /// `weight / total graph weight` (0 when the graph has no edges).
+    pub fraction: f64,
+}
+
+/// One part's extracted subgraph with its local↔global index maps.
+#[derive(Debug, Clone)]
+pub struct PartitionPiece {
+    /// Which part (`0..k`) this piece is.
+    pub part: usize,
+    /// The induced subgraph, nodes relabeled to `0..nodes.len()`.
+    pub graph: Graph,
+    /// `nodes[local] = global` node-id map.
+    pub nodes: Vec<usize>,
+    /// `edges[local] = global` edge-id map (strictly increasing).
+    pub edges: Vec<usize>,
+}
+
+/// A full k-way decomposition: one [`PartitionPiece`] per part plus the
+/// separator structure between them.
+#[derive(Debug, Clone)]
+pub struct PartitionSubgraphs {
+    /// Extracted per-part subgraphs, in part order.
+    pub pieces: Vec<PartitionPiece>,
+    /// Global ids of the boundary edges (endpoints in different parts),
+    /// in increasing id order.
+    pub boundary_edges: Vec<usize>,
+    /// Global ids of the separator nodes (incident to at least one
+    /// boundary edge), in increasing id order.
+    pub separator_nodes: Vec<usize>,
+}
+
 impl KWayPartition {
     /// Sizes of the parts.
     pub fn part_sizes(&self) -> Vec<usize> {
@@ -149,6 +188,104 @@ impl KWayPartition {
             sizes[p] += 1;
         }
         sizes
+    }
+
+    /// Node ids of each part, in increasing id order per part.
+    pub fn part_nodes(&self) -> Vec<Vec<usize>> {
+        let mut nodes = vec![Vec::new(); self.parts];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            nodes[p].push(v);
+        }
+        nodes
+    }
+
+    /// Cut metrics of this partition measured on `g`: how many edges
+    /// (and how much conductance) the decomposition severs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different node count than the partition.
+    pub fn edge_cut(&self, g: &Graph) -> EdgeCut {
+        assert_eq!(
+            g.num_nodes(),
+            self.assignment.len(),
+            "partition and graph node counts must agree"
+        );
+        let mut count = 0usize;
+        let mut weight = 0.0f64;
+        for e in g.edges() {
+            if self.assignment[e.u] != self.assignment[e.v] {
+                count += 1;
+                weight += e.weight;
+            }
+        }
+        let total = g.total_weight();
+        EdgeCut { count, weight, fraction: if total > 0.0 { weight / total } else { 0.0 } }
+    }
+
+    /// Load-balance ratio: largest part size over the ideal `n / k`
+    /// (1.0 = perfectly balanced, 2.0 = one part twice the ideal size).
+    ///
+    /// Returns 1.0 for empty partitions.
+    pub fn balance_ratio(&self) -> f64 {
+        let n = self.assignment.len();
+        if n == 0 || self.parts == 0 {
+            return 1.0;
+        }
+        let max = self.part_sizes().into_iter().max().unwrap_or(0);
+        max as f64 * self.parts as f64 / n as f64
+    }
+
+    /// Extracts every part's induced subgraph with local↔global node and
+    /// edge maps, plus the boundary edges and separator nodes between
+    /// parts — the decomposition the partition-parallel sparsifier
+    /// densifies concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different node count than the partition.
+    pub fn extract_subgraphs(&self, g: &Graph) -> PartitionSubgraphs {
+        assert_eq!(
+            g.num_nodes(),
+            self.assignment.len(),
+            "partition and graph node counts must agree"
+        );
+        // One pass over the nodes and one over the edges (parts have
+        // disjoint node sets, so a single local-id array serves them all).
+        let part_nodes = self.part_nodes();
+        let mut local_id = vec![0usize; g.num_nodes()];
+        for nodes in &part_nodes {
+            for (li, &v) in nodes.iter().enumerate() {
+                local_id[v] = li;
+            }
+        }
+        let mut part_edges: Vec<Vec<Edge>> = vec![Vec::new(); self.parts];
+        let mut part_edge_maps: Vec<Vec<usize>> = vec![Vec::new(); self.parts];
+        let mut boundary_edges = Vec::new();
+        let mut on_separator = vec![false; g.num_nodes()];
+        for (id, e) in g.edges().iter().enumerate() {
+            let (pu, pv) = (self.assignment[e.u], self.assignment[e.v]);
+            if pu == pv {
+                part_edges[pu].push(Edge::new(local_id[e.u], local_id[e.v], e.weight));
+                part_edge_maps[pu].push(id);
+            } else {
+                boundary_edges.push(id);
+                on_separator[e.u] = true;
+                on_separator[e.v] = true;
+            }
+        }
+        let pieces = part_nodes
+            .into_iter()
+            .zip(part_edges.into_iter().zip(part_edge_maps))
+            .enumerate()
+            .map(|(part, (nodes, (edges, edge_map)))| {
+                let graph = Graph::from_edge_list(nodes.len(), edges)
+                    .expect("relabeled edges of a valid graph are valid");
+                PartitionPiece { part, graph, nodes, edges: edge_map }
+            })
+            .collect();
+        let separator_nodes = (0..g.num_nodes()).filter(|&v| on_separator[v]).collect();
+        PartitionSubgraphs { pieces, boundary_edges, separator_nodes }
     }
 }
 
@@ -365,5 +502,105 @@ mod tests {
         let g = grid2d(6, 6, WeightProfile::Unit, 2);
         let b = bisect_direct(&g, 6, 1).unwrap();
         assert_eq!(b.side.iter().filter(|&&s| s).count(), 18);
+    }
+
+    #[test]
+    fn edge_cut_counts_and_weighs_crossing_edges() {
+        // Path 0-1-2-3 with parts {0,1} and {2,3}: only edge (1,2) crosses.
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.5), (2, 3, 3.0)]).unwrap();
+        let p = KWayPartition { assignment: vec![0, 0, 1, 1], parts: 2, cut_weight: 2.5 };
+        let cut = p.edge_cut(&g);
+        assert_eq!(cut.count, 1);
+        assert!((cut.weight - 2.5).abs() < 1e-12);
+        assert!((cut.fraction - 2.5 / 6.5).abs() < 1e-12);
+        // The construction-time cut_weight field agrees with the metric.
+        let rb = recursive_bisection(&g, 2, 5, 0).unwrap();
+        assert!((rb.edge_cut(&g).weight - rb.cut_weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cut_of_single_part_is_empty() {
+        let g = grid2d(4, 4, WeightProfile::Unit, 1);
+        let p = recursive_bisection(&g, 1, 5, 0).unwrap();
+        let cut = p.edge_cut(&g);
+        assert_eq!(cut.count, 0);
+        assert_eq!(cut.weight, 0.0);
+        assert_eq!(cut.fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node counts must agree")]
+    fn edge_cut_rejects_mismatched_graph() {
+        let g = grid2d(4, 4, WeightProfile::Unit, 1);
+        let p = KWayPartition { assignment: vec![0, 1], parts: 2, cut_weight: 0.0 };
+        p.edge_cut(&g);
+    }
+
+    #[test]
+    fn balance_ratio_measures_worst_part() {
+        let balanced = KWayPartition { assignment: vec![0, 0, 1, 1], parts: 2, cut_weight: 0.0 };
+        assert!((balanced.balance_ratio() - 1.0).abs() < 1e-12);
+        let skewed = KWayPartition { assignment: vec![0, 0, 0, 1], parts: 2, cut_weight: 0.0 };
+        assert!((skewed.balance_ratio() - 1.5).abs() < 1e-12);
+        let quad = recursive_bisection(&grid2d(12, 10, WeightProfile::Unit, 4), 4, 8, 1).unwrap();
+        assert!((quad.balance_ratio() - 1.0).abs() < 1e-12, "quadrants are exactly balanced");
+    }
+
+    #[test]
+    fn extract_subgraphs_partitions_nodes_and_edges() {
+        let g = grid2d(10, 8, WeightProfile::LogUniform { lo: 0.5, hi: 2.0 }, 6);
+        let p = recursive_bisection(&g, 4, 8, 2).unwrap();
+        let subs = p.extract_subgraphs(&g);
+        assert_eq!(subs.pieces.len(), p.parts);
+        // Node maps tile the node set exactly.
+        let mut seen_nodes = vec![false; g.num_nodes()];
+        for piece in &subs.pieces {
+            assert_eq!(piece.graph.num_nodes(), piece.nodes.len());
+            assert_eq!(piece.graph.num_edges(), piece.edges.len());
+            for &v in &piece.nodes {
+                assert_eq!(p.assignment[v], piece.part);
+                assert!(!seen_nodes[v], "node {v} appears in two pieces");
+                seen_nodes[v] = true;
+            }
+            // Edge maps translate endpoints and weights faithfully.
+            for (local, &global) in piece.edges.iter().enumerate() {
+                let le = piece.graph.edge(local);
+                let ge = g.edge(global);
+                assert_eq!(ge.weight, le.weight);
+                assert_eq!((piece.nodes[le.u], piece.nodes[le.v]), (ge.u, ge.v));
+            }
+        }
+        assert!(seen_nodes.iter().all(|&s| s));
+        // Internal edges + boundary edges tile the edge set exactly.
+        let internal: usize = subs.pieces.iter().map(|p| p.edges.len()).sum();
+        assert_eq!(internal + subs.boundary_edges.len(), g.num_edges());
+        assert_eq!(subs.boundary_edges.len(), p.edge_cut(&g).count);
+        for &id in &subs.boundary_edges {
+            let e = g.edge(id);
+            assert_ne!(p.assignment[e.u], p.assignment[e.v]);
+            assert!(subs.separator_nodes.binary_search(&e.u).is_ok());
+            assert!(subs.separator_nodes.binary_search(&e.v).is_ok());
+        }
+        // Every separator node is incident to some boundary edge.
+        for &v in &subs.separator_nodes {
+            assert!(subs.boundary_edges.iter().any(|&id| {
+                let e = g.edge(id);
+                e.u == v || e.v == v
+            }));
+        }
+    }
+
+    #[test]
+    fn part_nodes_matches_assignment() {
+        let g = grid2d(9, 7, WeightProfile::Unit, 3);
+        let p = recursive_bisection(&g, 3, 7, 5).unwrap();
+        let nodes = p.part_nodes();
+        assert_eq!(nodes.len(), p.parts);
+        let sizes: Vec<usize> = nodes.iter().map(Vec::len).collect();
+        assert_eq!(sizes, p.part_sizes());
+        for (part, list) in nodes.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "part {part} nodes unsorted");
+            assert!(list.iter().all(|&v| p.assignment[v] == part));
+        }
     }
 }

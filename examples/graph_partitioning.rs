@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use tracered_core::{sparsify, Method, SparsifyConfig};
+use tracered_core::{sparsify, sparsify_partitioned, Method, PartitionedConfig, SparsifyConfig};
 use tracered_graph::gen::{tri_mesh, WeightProfile};
 use tracered_graph::laplacian::ShiftPolicy;
 use tracered_partition::{bisect_direct, bisect_pcg, partition_shift, relative_error};
@@ -52,5 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let err = relative_error(&direct.side, &iterative.side);
     println!("RelErr vs direct partition: {err:.2e}");
     assert!(err < 0.05, "partitions must agree closely");
+
+    // The decomposition also feeds the partition-parallel sparsifier:
+    // densify four domains concurrently and stitch them back together.
+    let t2 = Instant::now();
+    let psp = sparsify_partitioned(&g, &PartitionedConfig::new(4).threads(None))?;
+    let pr = psp.partition_report();
+    println!(
+        "partitioned sparsify (k=4, {} threads): {:.3}s — cut {} edges \
+         (connectors {}, boundary recovered {}), balance {:.3}",
+        pr.threads,
+        t2.elapsed().as_secs_f64(),
+        pr.cut.count,
+        pr.connector_edges,
+        pr.boundary_recovered,
+        pr.balance_ratio,
+    );
+    assert!(psp.sparsifier().as_graph(&g).is_connected());
     Ok(())
 }
