@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use tracered_bench::{available_parallelism, write_bench_json, BenchRecord};
+use tracered_bench::{available_parallelism, pool_size, write_bench_json, BenchRecord};
 use tracered_core::{sparsify, Method, SparsifyConfig};
 use tracered_graph::laplacian::ShiftPolicy;
 use tracered_powergrid::synth::{synthesize, SynthConfig};
@@ -155,6 +155,7 @@ fn main() {
             .int("batch", k as i64)
             .int("threads", threads as i64)
             .int("available_parallelism", available_parallelism() as i64)
+            .int("pool_size", pool_size() as i64)
     };
 
     // Amortized per-RHS stepping time at the first swept width (width 1

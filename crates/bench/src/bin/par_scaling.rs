@@ -10,13 +10,21 @@
 //! - `sym_matvec` — the parallel SpMV behind PCG and Hutchinson;
 //! - `pcg` — a tree-preconditioned solve, recording iteration counts.
 //!
-//! Results print as a table and are written to `BENCH_pr1.json` (override
+//! - `spawn_overhead` — the region-entry microbench: one fused PCG
+//!   vector update (`x += α p`, `r -= α Ap`) per region, measured
+//!   (a) serially, (b) through the persistent worker pool, and (c) on
+//!   a `std::thread::scope` runtime replicating the PR 1–3 scheduler
+//!   that spawned fresh OS threads per region. The per-region overhead
+//!   gap is why parallel vector kernels become profitable at much
+//!   smaller `n` with the pool.
+//!
+//! Results print as a table and are written to `BENCH_pr4.json` (override
 //! with `--out <path>`) so later PRs can diff speedups and regressions.
 //! Scores are bit-identical across thread counts (verified here too);
 //! only wall-clock time changes.
 //!
 //! Usage: `cargo run --release -p tracered-bench --bin par_scaling --
-//! [--scale 1.0] [--threads 1,2,4,8] [--full] [--out BENCH_pr1.json]`
+//! [--scale 1.0] [--threads 1,2,4,8] [--full] [--out BENCH_pr4.json]`
 
 use std::time::Instant;
 
@@ -46,7 +54,7 @@ fn parse_args() -> Args {
         scale: 1.0,
         threads: vec![1, 2, 4, 8],
         full: false,
-        out: "BENCH_pr1.json".to_string(),
+        out: "BENCH_pr4.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -130,6 +138,7 @@ fn main() {
             .int("beta", BETA as i64)
             .int("threads", threads as i64)
             .int("available_parallelism", tracered_bench::available_parallelism() as i64)
+            .int("pool_size", tracered_bench::pool_size() as i64)
             .secs_field("tree_time", tree_time)
     };
 
@@ -221,6 +230,111 @@ fn main() {
         }
     }
 
+    // --- Spawn-overhead microbench: region entry cost, pool vs scope. ---
+    // One fused PCG vector update per region, so per-region scheduling
+    // overhead dominates at small n. The "scope" runtime replicates the
+    // PR 1–3 scheduler: fresh OS threads spawned and joined per region.
+    for &t in &args.threads {
+        if t <= 1 {
+            continue; // both runtimes are the identical serial loop at t = 1
+        }
+        for &len in &[1_000usize, 10_000, 100_000] {
+            let reps = 100;
+            let alpha = 1e-4;
+            let p: Vec<f64> = (0..len).map(|i| ((i % 23) as f64) - 11.0).collect();
+            let ap: Vec<f64> = (0..len).map(|i| ((i % 29) as f64) - 14.0).collect();
+            let chunk = tracered_par::chunk_size(len, t, 4096);
+            let body = |start: usize, xs: &mut [f64], rs: &mut [f64]| {
+                for off in 0..xs.len() {
+                    xs[off] += alpha * p[start + off];
+                    rs[off] -= alpha * ap[start + off];
+                }
+            };
+
+            let mut x = vec![1.0f64; len];
+            let mut r = vec![2.0f64; len];
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                let mut start = 0;
+                for (xs, rs) in x.chunks_mut(chunk).zip(r.chunks_mut(chunk)) {
+                    let l = xs.len();
+                    body(start, xs, rs);
+                    start += l;
+                }
+            }
+            let serial_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+            let mut x = vec![1.0f64; len];
+            let mut r = vec![2.0f64; len];
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                tracered_par::par_chunks2_mut(&mut x, &mut r, chunk, t, body);
+            }
+            let pool_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+            let mut x = vec![1.0f64; len];
+            let mut r = vec![2.0f64; len];
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                scoped_chunks2(&mut x, &mut r, chunk, t, body);
+            }
+            let scope_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+            println!(
+                "spawn_overhead n={len} t={t}: serial {:.2}us, pool {:.2}us, \
+                 scope {:.2}us per region (pool overhead {:.2}us, scope {:.2}us)",
+                serial_s * 1e6,
+                pool_s * 1e6,
+                scope_s * 1e6,
+                (pool_s - serial_s) * 1e6,
+                (scope_s - serial_s) * 1e6,
+            );
+            records.push(
+                base("spawn_overhead", t)
+                    .int("n", len as i64)
+                    .int("reps", reps as i64)
+                    .num("serial_seconds", serial_s)
+                    .num("pool_seconds", pool_s)
+                    .num("scope_seconds", scope_s)
+                    .num("pool_overhead_seconds", pool_s - serial_s)
+                    .num("scope_overhead_seconds", scope_s - serial_s),
+            );
+        }
+    }
+
     write_bench_json(&args.out, &records).expect("writing the bench JSON must succeed");
     println!("wrote {} records to {}", records.len(), args.out);
+}
+
+/// The PR 1–3 runtime, kept verbatim as the microbench baseline: chunk
+/// jobs on a mutex-guarded queue, fresh scoped OS threads spawned per
+/// region and joined on exit.
+fn scoped_chunks2<F>(a: &mut [f64], b: &mut [f64], chunk: usize, threads: usize, body: F)
+where
+    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
+{
+    let jobs: Vec<(usize, &mut [f64], &mut [f64])> = {
+        let mut start = 0;
+        a.chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .map(|(pa, pb)| {
+                let job = (start, pa, pb);
+                start += job.1.len();
+                job
+            })
+            .collect()
+    };
+    let workers = threads.min(jobs.len());
+    let queue = std::sync::Mutex::new(jobs.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("worker panicked holding job queue").next();
+                match job {
+                    Some((start, pa, pb)) => body(start, pa, pb),
+                    None => break,
+                }
+            });
+        }
+    });
 }

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use tracered_bench::{available_parallelism, write_bench_json, BenchRecord};
+use tracered_bench::{available_parallelism, pool_size, write_bench_json, BenchRecord};
 use tracered_core::metrics::relative_condition_number;
 use tracered_core::{sparsify, PartitionedConfig, Sparsifier, SparsifyConfig};
 use tracered_graph::gen::{grid2d, WeightProfile};
@@ -116,6 +116,7 @@ fn main() {
             .int("nodes", n as i64)
             .int("edges", m as i64)
             .int("available_parallelism", available_parallelism() as i64)
+            .int("pool_size", pool_size() as i64)
             .num("seconds", global_s)
             .num("kappa", global_kappa)
             .int("sparsifier_edges", global.edge_ids().len() as i64),
@@ -159,6 +160,7 @@ fn main() {
                     .int("parts", k as i64)
                     .int("threads", t as i64)
                     .int("available_parallelism", available_parallelism() as i64)
+                    .int("pool_size", pool_size() as i64)
                     .num("seconds", secs)
                     .num("speedup_vs_first", base / secs)
                     .num("partition_time", pr.partition_time.as_secs_f64())

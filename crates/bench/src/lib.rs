@@ -332,6 +332,16 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
+/// Resolved size of the process-global worker pool — the thread budget
+/// parallel regions actually ran on (`TRACERED_THREADS` override or the
+/// OS-reported parallelism). Recorded next to
+/// [`available_parallelism`] in every bench JSON: the two differ
+/// exactly when the environment pinned the pool, which makes BENCH
+/// files self-describing on multi-core hardware.
+pub fn pool_size() -> usize {
+    tracered_par::global_pool_size()
+}
+
 /// Parses `--scale <f64>` and `--case <name>` from `std::env::args`.
 pub fn parse_args() -> (f64, Option<String>) {
     let mut scale = 1.0;

@@ -75,6 +75,18 @@ impl TreeScratch {
             queue: VecDeque::new(),
         }
     }
+
+    /// Recycling factory for the pool's per-worker scratch cache: a
+    /// cached arena is valid whenever its dimensions match — the stamp
+    /// counter keeps incrementing, which is exactly how stale entries
+    /// are invalidated within a region already. Anything else (other
+    /// graph, other densification level) is rebuilt from scratch.
+    fn recycle(cached: Option<Self>, n: usize, m: usize) -> Self {
+        match cached {
+            Some(s) if s.member_p.len() == n && s.path_stamp.len() == m => s,
+            _ => TreeScratch::new(n, m),
+        }
+    }
 }
 
 /// Scores one candidate against the spanning tree (the body of the
@@ -188,11 +200,11 @@ pub fn tree_phase_scores_threads(
     let m = g.num_edges();
     let mut scores = vec![0.0f64; candidates.len()];
     let chunk = tracered_par::chunk_size(candidates.len(), threads, MIN_CHUNK);
-    tracered_par::par_chunks_mut(
+    tracered_par::par_chunks_mut_scratch(
         &mut scores,
         chunk,
         threads,
-        || TreeScratch::new(n, m),
+        |cached| TreeScratch::recycle(cached, n, m),
         |scratch, start, out| {
             for (off, slot) in out.iter_mut().enumerate() {
                 let k = start + off;
@@ -313,6 +325,17 @@ impl SubgraphScratch {
             zpq_touched: Vec::new(),
         }
     }
+
+    /// Recycling factory (see [`TreeScratch::recycle`]): dimension match
+    /// suffices — stamps stay monotone and `zpq_dense` is rezeroed via
+    /// `zpq_touched` after every candidate, so a cached arena meets the
+    /// same invariants as a fresh one.
+    fn recycle(cached: Option<Self>, n: usize, m: usize) -> Self {
+        match cached {
+            Some(s) if s.member_p.len() == n && s.edge_stamp.len() == m => s,
+            _ => SubgraphScratch::new(n, m),
+        }
+    }
 }
 
 /// Scores one candidate against the current subgraph (the body of the
@@ -405,11 +428,11 @@ pub fn subgraph_phase_scores_threads(
     let m = g.num_edges();
     let mut scores = vec![0.0f64; candidates.len()];
     let chunk = tracered_par::chunk_size(candidates.len(), threads, MIN_CHUNK);
-    tracered_par::par_chunks_mut(
+    tracered_par::par_chunks_mut_scratch(
         &mut scores,
         chunk,
         threads,
-        || SubgraphScratch::new(n, m),
+        |cached| SubgraphScratch::recycle(cached, n, m),
         |scratch, start, out| {
             for (off, slot) in out.iter_mut().enumerate() {
                 let k = start + off;

@@ -105,12 +105,13 @@ pub fn grass_scores_threads(
     // One work item per probe: contributions[j*k..(j+1)*k] holds probe
     // j's per-candidate terms.
     let mut contributions = vec![0.0f64; num_vectors * k];
-    tracered_par::par_chunks_mut(
+    tracered_par::par_chunks_mut_scratch(
         &mut contributions,
         k,
         threads,
-        || (vec![0.0f64; n], vec![0.0f64; n]),
-        |(h, tmp), start, out| {
+        crate::workspace::vec_pair_factory(n),
+        |ws, start, out| {
+            let (h, tmp) = (&mut ws.a, &mut ws.b);
             let j = start / k;
             h.copy_from_slice(&probes[j]);
             power_iterate(lg, factor, power_steps, h, tmp);

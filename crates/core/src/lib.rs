@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod partitioned;
 pub mod similarity;
 pub mod sparsify;
+mod workspace;
 
 pub use config::{Method, SparsifyConfig};
 pub use error::CoreError;

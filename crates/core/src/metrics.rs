@@ -118,12 +118,13 @@ pub fn trace_proxy_hutchinson_threads(
         .map(|_| (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect())
         .collect();
     let mut terms = vec![0.0f64; probes];
-    tracered_par::par_chunks_mut(
+    tracered_par::par_chunks_mut_scratch(
         &mut terms,
         1,
         threads,
-        || (vec![0.0f64; n], vec![0.0f64; n]),
-        |(lgz, y), start, out| {
+        crate::workspace::vec_pair_factory(n),
+        |ws, start, out| {
+            let (lgz, y) = (&mut ws.a, &mut ws.b);
             let z = &probe_vecs[start];
             lg.matvec_into(z, lgz);
             lp_factor.solve_into(lgz, y);

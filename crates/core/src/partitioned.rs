@@ -289,6 +289,21 @@ struct PartResult {
 /// of the unpartitioned result, while the factorization work splits into
 /// k independent local problems.
 ///
+/// ```
+/// use tracered_core::{sparsify_partitioned, PartitionedConfig};
+/// use tracered_graph::gen::{grid2d, WeightProfile};
+///
+/// let g = grid2d(24, 16, WeightProfile::Unit, 7);
+/// // 4 partitions, densified concurrently on up to 2 pool threads; the
+/// // stitched edge set is identical at every thread count.
+/// let cfg = PartitionedConfig::new(4).threads(Some(2));
+/// let psp = sparsify_partitioned(&g, &cfg)?;
+/// let sp = psp.sparsifier();
+/// assert!(sp.edge_ids().len() >= g.num_nodes() - 1);
+/// assert!(psp.partition_report().cut.count > 0);
+/// # Ok::<(), tracered_core::CoreError>(())
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidConfig`] for out-of-range parameters,
@@ -461,6 +476,7 @@ pub fn sparsify_partitioned(
             spai_nnz: 0,
             trace_estimate: None,
             threads,
+            pool_size: tracered_par::global_pool_size(),
         });
     }
     let budget: usize =
@@ -595,6 +611,7 @@ fn merge_iterations<'a>(
                     spai_nnz: 0,
                     trace_estimate: None,
                     threads,
+                    pool_size: tracered_par::global_pool_size(),
                 });
                 trace_sources.push(0);
             }

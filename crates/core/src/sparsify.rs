@@ -53,6 +53,13 @@ pub struct IterationStats {
     /// `score_time` across runs at different thread counts gives the
     /// score-phase speedup — scores themselves are bit-identical.
     pub threads: usize,
+    /// Size of the process-global worker pool when this iteration ran
+    /// ([`tracered_par::global_pool_size`]): the `TRACERED_THREADS`
+    /// override or the OS-reported parallelism. `threads` above is the
+    /// *requested* cap; this is the hardware/runtime budget it was
+    /// served from, so recorded stats are self-describing on any
+    /// machine.
+    pub pool_size: usize,
 }
 
 /// Summary of a sparsification run.
@@ -192,6 +199,20 @@ pub(crate) fn heaviest_node(g: &Graph) -> usize {
 /// Runs graph spectral sparsification (paper Algorithm 2, or one of the
 /// baselines selected by [`SparsifyConfig::new`]).
 ///
+/// ```
+/// use tracered_core::{sparsify, Method, SparsifyConfig};
+/// use tracered_graph::gen::{grid2d, WeightProfile};
+///
+/// let g = grid2d(16, 16, WeightProfile::Unit, 7);
+/// let sp = sparsify(&g, &SparsifyConfig::new(Method::TraceReduction))?;
+/// // A spanning tree plus ~`edge_fraction · |V|` recovered edges.
+/// assert!(sp.edge_ids().len() >= g.num_nodes() - 1);
+/// assert!(sp.edge_ids().len() < g.num_edges());
+/// // Per-iteration diagnostics, including the resolved thread budget.
+/// assert!(sp.report().iterations[0].pool_size >= 1);
+/// # Ok::<(), tracered_core::CoreError>(())
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidConfig`] for out-of-range parameters,
@@ -245,6 +266,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
             spai_nnz: 0,
             trace_estimate: None,
             threads,
+            pool_size: tracered_par::global_pool_size(),
         };
         if cfg.track_trace_enabled() {
             let ls = subgraph_laplacian(g, &selected, &shifts);

@@ -113,19 +113,13 @@ pub fn tree_resistances_threads(
     }
     let mut out = vec![0.0f64; pairs.len()];
     let chunk = tracered_par::chunk_size(pairs.len(), threads, min_chunk);
-    tracered_par::par_chunks_mut(
-        &mut out,
-        chunk,
-        threads,
-        || (),
-        |_, start, slice| {
-            let sub = &pairs[start..start + slice.len()];
-            let lcas = offline_lca(tree, sub);
-            for ((slot, &(p, q)), &l) in slice.iter_mut().zip(sub.iter()).zip(lcas.iter()) {
-                *slot = tree.resistance_between(p, q, l);
-            }
-        },
-    );
+    tracered_par::par_chunks_mut(&mut out, chunk, threads, |start, slice| {
+        let sub = &pairs[start..start + slice.len()];
+        let lcas = offline_lca(tree, sub);
+        for ((slot, &(p, q)), &l) in slice.iter_mut().zip(sub.iter()).zip(lcas.iter()) {
+            *slot = tree.resistance_between(p, q, l);
+        }
+    });
     out
 }
 

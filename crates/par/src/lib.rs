@@ -1,47 +1,151 @@
-//! Dependency-free parallel runtime for the sparsification hot paths.
+//! Dependency-free parallel runtime for the sparsification hot paths,
+//! built around a **persistent work-stealing worker pool**.
 //!
 //! The container builds fully offline, so instead of `rayon` this crate
-//! provides a small **work-stealing chunk scheduler** on top of
-//! `std::thread::scope`: a parallel region splits its index space into
-//! chunks (several per worker), pushes them onto a shared queue, and
-//! spawned workers repeatedly steal the next unclaimed chunk until the
-//! queue drains. Dynamic stealing keeps workers busy even when per-item
+//! provides its own runtime: a process-global [`Pool`] (lazily created
+//! on first use, sized by the `TRACERED_THREADS` environment variable or
+//! the OS-reported parallelism) parks `size − 1` worker threads and
+//! feeds them parallel *regions* through a shared injector queue. A
+//! region splits its index space into chunks (several per worker),
+//! workers and the calling thread repeatedly steal the next unclaimed
+//! chunk until the queue drains, and the call returns once every chunk
+//! has finished. Dynamic stealing keeps workers busy even when per-item
 //! cost is wildly skewed (β-layer BFS neighbourhoods vary by orders of
-//! magnitude across candidate edges).
+//! magnitude across candidate edges); the persistent pool means entering
+//! a region costs a queue push and a few wakeups instead of spawning and
+//! joining OS threads — the difference between parallelism paying off at
+//! `n ≈ 10⁴` or only at `n ≈ 10⁶` for the PCG vector kernels (see the
+//! `spawn_overhead` microbench in `tracered-bench`).
+//!
+//! Entry points: [`par_chunks_mut`] (disjoint chunks of one slice),
+//! [`par_chunks_mut_scratch`] (same, with a recycled per-worker
+//! workspace), [`par_chunks2_mut`] (paired chunks of two slices — fused
+//! PCG vector updates), [`par_jobs`] (an explicit job list), and
+//! [`par_reduce_f64`] (chunk-ordered sum reduction). Each takes a
+//! `threads` cap so callers' `threads: Option<usize>` knobs keep
+//! working: `Some(1)` routes to the exact serial path, larger values cap
+//! how many pool threads the region may occupy.
 //!
 //! # Determinism contract
 //!
-//! Every entry point partitions its **output** slice into disjoint
-//! chunks and computes each element from read-only shared inputs, so
-//! results are bit-identical for every thread count — including the
-//! serial path, which runs the exact same per-chunk closure in chunk
-//! order on the calling thread. Reductions ([`par_reduce_f64`]) fix the
-//! chunk decomposition independently of the thread count and combine
-//! partial results in chunk order, so they are deterministic for a given
-//! chunk size (though not bit-identical to an unchunked serial fold).
+//! Every entry point partitions its **output** into disjoint jobs fixed
+//! by the chunk size — never by the thread count — and computes each
+//! element from read-only shared inputs, so results are bit-identical
+//! for every thread count, including the serial path, which runs the
+//! exact same per-chunk closure in chunk order on the calling thread.
+//! Reductions ([`par_reduce_f64`]) combine per-chunk partial sums in
+//! chunk order, so they are deterministic for a given chunk size (though
+//! not bit-identical to an unchunked serial fold). The property tests in
+//! `tracered-core` (`parallel_equivalence`), `tracered-solver` (block
+//! PCG), and `tracered-partition` (partitioned determinism) pin this
+//! contract down at thread counts {1, 2, 4}.
 //!
-//! Per-worker scratch state (BFS stamps, voltage arrays, …) is created
-//! once per worker by a caller-supplied factory, replicating the serial
-//! code's reuse pattern without sharing mutable state across threads.
+//! # Scratch reuse
+//!
+//! Per-worker scratch state (BFS stamps, voltage arrays, probe buffers,
+//! …) is created by a caller-supplied *recycling factory*
+//! `Fn(Option<S>) -> S`: the factory receives this thread's cached
+//! scratch of the same type from the previous region (if any) and may
+//! reuse its allocations after validating dimensions, or build fresh.
+//! Because pool workers are persistent, the cache survives across
+//! regions — scoring sweeps and PCG iterations stop re-allocating their
+//! arenas every region. See [`par_chunks_mut_scratch`].
+//!
+//! # Nesting
+//!
+//! Regions compose: a [`par_jobs`] job may itself call
+//! [`par_chunks_mut`] (partition-parallel densification scores each
+//! partition in parallel *inside* a partition job). The inner region's
+//! owner claims inner jobs itself — work-stealing from within a job —
+//! and idle workers help, so nesting cannot deadlock: a thread waiting
+//! on a region is only ever waiting on jobs that some live thread is
+//! actively executing.
+//!
+//! # Panics
+//!
+//! A panic in a job body cancels its region (remaining jobs are
+//! discarded), propagates to the region's caller once the region is
+//! quiescent, and leaves the pool healthy — workers survive and later
+//! regions run normally.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::sync::OnceLock;
+
+mod pool;
+mod scratch;
+
+pub use pool::Pool;
+
+/// Environment variable overriding the global pool size (total threads,
+/// calling thread included). Read once, when the global pool is first
+/// used; values that do not parse as a positive integer are ignored in
+/// favour of the OS-reported parallelism.
+pub const THREADS_ENV: &str = "TRACERED_THREADS";
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-global pool used by the free functions of this crate.
+///
+/// Created lazily on first use: `size = TRACERED_THREADS` if set and
+/// valid, else [`std::thread::available_parallelism`]; `size − 1` worker
+/// threads are spawned once and parked between regions. Explicit
+/// [`Pool`] handles (tests, isolation) are independent of this one.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_pool_size()))
+}
+
+/// Size of the global pool — the resolved thread budget that `None`
+/// thread knobs map to. Initializes the pool if needed.
+///
+/// Benchmarks and [`IterationStats`-style](fn@global_pool_size) reports
+/// record this value so result files are self-describing on any
+/// hardware.
+pub fn global_pool_size() -> usize {
+    global().size()
+}
+
+/// Worker threads the global pool has ever created: `size − 1` after
+/// first use, `0` before — and **never more**, regardless of how many
+/// parallel regions have run. This is the instrumentation hook proving
+/// worker-thread creation is O(1) per process.
+pub fn global_threads_spawned() -> usize {
+    GLOBAL.get().map(Pool::threads_spawned).unwrap_or(0)
+}
+
+fn default_pool_size() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
 
 /// Resolves a requested thread count: `Some(t)` is honoured (min 1),
-/// `None` asks the OS for the available parallelism.
+/// `None` resolves to the global pool size (the `TRACERED_THREADS`
+/// override or the OS-reported parallelism).
+///
+/// ```
+/// assert_eq!(tracered_par::effective_threads(Some(4)), 4);
+/// assert_eq!(tracered_par::effective_threads(Some(0)), 1);
+/// assert!(tracered_par::effective_threads(None) >= 1);
+/// ```
 pub fn effective_threads(requested: Option<usize>) -> usize {
     match requested {
         Some(t) => t.max(1),
-        None => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+        None => global_pool_size(),
     }
 }
 
 /// Picks a chunk size giving each worker several chunks to steal while
 /// keeping chunks at least `min_chunk` long (amortises scratch setup and
 /// queue traffic for cheap per-item work).
+///
+/// The result depends only on `len`, `threads`, and `min_chunk` — pass a
+/// fixed `threads` when thread-count-invariant chunking is required (as
+/// [`par_reduce_f64`] callers do).
 pub fn chunk_size(len: usize, threads: usize, min_chunk: usize) -> usize {
     if len == 0 {
         return min_chunk.max(1);
@@ -50,62 +154,87 @@ pub fn chunk_size(len: usize, threads: usize, min_chunk: usize) -> usize {
     target.max(min_chunk.max(1)).min(len)
 }
 
-/// Runs `body` over disjoint chunks of `out` on `threads` workers, each
-/// worker owning one scratch value from `scratch`.
+/// Runs `body` over disjoint chunks of `out` on up to `threads` threads
+/// of the [global pool](global).
 ///
-/// `body(scratch, start, chunk)` must fill `chunk` (which aliases
+/// `body(start, chunk)` must fill `chunk` (which aliases
 /// `out[start..start + chunk.len()]`) from read-only captured state; the
 /// scheduler guarantees every element of `out` is visited exactly once.
 /// With `threads <= 1` the chunks run sequentially on the calling thread
-/// with a single scratch value — the same code path, so parallel and
-/// serial results are bit-identical.
-pub fn par_chunks_mut<T, S, B, F>(out: &mut [T], chunk: usize, threads: usize, scratch: B, body: F)
+/// — the same code path in the same order, so parallel and serial
+/// results are bit-identical.
+///
+/// ```
+/// let mut squares = vec![0u64; 1000];
+/// tracered_par::par_chunks_mut(&mut squares, 128, 4, |start, chunk| {
+///     for (off, v) in chunk.iter_mut().enumerate() {
+///         let i = (start + off) as u64;
+///         *v = i * i;
+///     }
+/// });
+/// assert_eq!(squares[31], 31 * 31);
+/// ```
+pub fn par_chunks_mut<T, F>(out: &mut [T], chunk: usize, threads: usize, body: F)
 where
     T: Send,
-    B: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    global().chunks_mut(out, chunk, threads, body);
+}
+
+/// [`par_chunks_mut`] with a per-worker scratch workspace, recycled
+/// across regions through a per-thread cache.
+///
+/// Each participating thread obtains one scratch value by calling
+/// `factory(cached)`, where `cached` is that thread's scratch of type
+/// `S` left over from a previous region (or `None`). The factory owns
+/// validation: the cached value is a **capacity donor only** — reuse its
+/// allocations when the dimensions still fit, rebuild otherwise, and
+/// return a value satisfying the body's preconditions either way.
+/// Scratch must hold workspace, never results: outputs go through the
+/// `out` chunks, so scratch reuse cannot affect values and the
+/// determinism contract holds.
+///
+/// ```
+/// struct Arena { marks: Vec<u32> }
+/// let n = 500;
+/// let mut out = vec![0u32; n];
+/// tracered_par::par_chunks_mut_scratch(
+///     &mut out,
+///     64,
+///     4,
+///     |cached: Option<Arena>| match cached {
+///         // Reuse the allocation when it still fits this region.
+///         Some(a) if a.marks.len() == n => a,
+///         _ => Arena { marks: vec![0; n] },
+///     },
+///     |arena, start, chunk| {
+///         for (off, v) in chunk.iter_mut().enumerate() {
+///             arena.marks[start + off] += 1; // workspace, not output
+///             *v = (start + off) as u32;
+///         }
+///     },
+/// );
+/// assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32));
+/// ```
+pub fn par_chunks_mut_scratch<T, S, B, F>(
+    out: &mut [T],
+    chunk: usize,
+    threads: usize,
+    factory: B,
+    body: F,
+) where
+    T: Send,
+    S: 'static,
+    B: Fn(Option<S>) -> S + Sync,
     F: Fn(&mut S, usize, &mut [T]) + Sync,
 {
-    let chunk = chunk.max(1);
-    if threads <= 1 || out.len() <= chunk {
-        let mut s = scratch();
-        let mut start = 0;
-        for piece in out.chunks_mut(chunk) {
-            let len = piece.len();
-            body(&mut s, start, piece);
-            start += len;
-        }
-        return;
-    }
-    let jobs: Vec<(usize, &mut [T])> = {
-        let mut start = 0;
-        out.chunks_mut(chunk)
-            .map(|piece| {
-                let job = (start, piece);
-                start += job.1.len();
-                job
-            })
-            .collect()
-    };
-    let workers = threads.min(jobs.len());
-    let queue = Mutex::new(jobs.into_iter());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut s = scratch();
-                loop {
-                    let job = queue.lock().expect("worker panicked holding job queue").next();
-                    match job {
-                        Some((start, piece)) => body(&mut s, start, piece),
-                        None => break,
-                    }
-                }
-            });
-        }
-    });
+    global().chunks_mut_scratch(out, chunk, threads, factory, body);
 }
 
 /// Runs `body` over paired disjoint chunks of two equally long slices —
-/// the shape of fused vector updates (`x += α p`, `r -= α Ap`).
+/// the shape of fused vector updates (`x += α p`, `r -= α Ap`) — on up
+/// to `threads` threads of the [global pool](global).
 ///
 /// # Panics
 ///
@@ -116,102 +245,48 @@ where
     B: Send,
     F: Fn(usize, &mut [A], &mut [B]) + Sync,
 {
-    assert_eq!(a.len(), b.len(), "paired slices must have equal length");
-    let chunk = chunk.max(1);
-    if threads <= 1 || a.len() <= chunk {
-        let mut start = 0;
-        for (pa, pb) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)) {
-            let len = pa.len();
-            body(start, pa, pb);
-            start += len;
-        }
-        return;
-    }
-    let jobs: Vec<(usize, &mut [A], &mut [B])> = {
-        let mut start = 0;
-        a.chunks_mut(chunk)
-            .zip(b.chunks_mut(chunk))
-            .map(|(pa, pb)| {
-                let job = (start, pa, pb);
-                start += job.1.len();
-                job
-            })
-            .collect()
-    };
-    let workers = threads.min(jobs.len());
-    let queue = Mutex::new(jobs.into_iter());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("worker panicked holding job queue").next();
-                match job {
-                    Some((start, pa, pb)) => body(start, pa, pb),
-                    None => break,
-                }
-            });
-        }
-    });
+    global().chunks2_mut(a, b, chunk, threads, body);
 }
 
-/// Runs an explicit job list on `threads` workers through the same
-/// work-stealing queue as the chunk entry points.
+/// Runs an explicit job list on up to `threads` threads of the
+/// [global pool](global), through the same work-stealing queue as the
+/// chunk entry points.
 ///
 /// This is the escape hatch for parallel regions whose output cannot be
 /// expressed as chunks of a single slice — e.g. the multi-RHS SpMM,
-/// whose jobs are (column, row-range) tiles of a column-major block.
+/// whose jobs are (column, row-range) tiles of a column-major block, or
+/// partition-parallel densification, whose jobs own one partition each.
 /// Jobs carry their own disjoint `&mut` state; with `threads <= 1` they
 /// run in order on the calling thread, and because each job writes only
 /// its own state the results are bit-identical for every thread count.
+/// Jobs may themselves enter nested parallel regions.
 pub fn par_jobs<T, F>(jobs: Vec<T>, threads: usize, body: F)
 where
     T: Send,
     F: Fn(T) + Sync,
 {
-    if threads <= 1 || jobs.len() <= 1 {
-        for job in jobs {
-            body(job);
-        }
-        return;
-    }
-    let workers = threads.min(jobs.len());
-    let queue = Mutex::new(jobs.into_iter());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("worker panicked holding job queue").next();
-                match job {
-                    Some(job) => body(job),
-                    None => break,
-                }
-            });
-        }
-    });
+    global().jobs(jobs, threads, body);
 }
 
-/// Chunked deterministic sum reduction: `Σ_i body(i)` over `0..len`,
-/// computed as per-chunk partial sums combined in chunk order.
+/// Chunked deterministic sum reduction: `Σ body(lo, hi)` over
+/// consecutive `chunk`-sized ranges of `0..len`, partial sums combined
+/// in chunk order on up to `threads` threads of the
+/// [global pool](global).
 ///
 /// The chunk decomposition depends only on `chunk`, never on `threads`,
-/// so the result is identical for every thread count.
+/// so the result is bit-identical for every thread count.
+///
+/// ```
+/// let dot = tracered_par::par_reduce_f64(10_000, 1024, 4, |lo, hi| {
+///     (lo..hi).map(|i| ((i + 1) as f64).recip().powi(2)).sum()
+/// });
+/// assert!((dot - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-3);
+/// ```
 pub fn par_reduce_f64<F>(len: usize, chunk: usize, threads: usize, body: F) -> f64
 where
     F: Fn(usize, usize) -> f64 + Sync,
 {
-    let chunk = chunk.max(1);
-    let nchunks = len.div_ceil(chunk);
-    let mut partials = vec![0.0f64; nchunks];
-    par_chunks_mut(
-        &mut partials,
-        1,
-        threads,
-        || (),
-        |_, ci, slot| {
-            let lo = ci * chunk;
-            let hi = (lo + chunk).min(len);
-            slot[0] = body(lo, hi);
-        },
-    );
-    partials.iter().sum()
+    global().reduce_f64(len, chunk, threads, body)
 }
 
 #[cfg(test)]
@@ -223,6 +298,7 @@ mod tests {
         assert_eq!(effective_threads(Some(4)), 4);
         assert_eq!(effective_threads(Some(0)), 1);
         assert!(effective_threads(None) >= 1);
+        assert_eq!(effective_threads(None), global_pool_size());
     }
 
     #[test]
@@ -231,10 +307,14 @@ mod tests {
         let c = chunk_size(1000, 4, 1);
         assert!((1..=1000).contains(&c));
         assert!(chunk_size(10, 4, 64) == 10);
+        // Degenerate knobs fall back to sane minima.
+        assert_eq!(chunk_size(0, 0, 0), 1);
+        assert!(chunk_size(100, 0, 1) >= 1);
     }
 
     #[test]
     fn parallel_fill_matches_serial_exactly() {
+        let pool = Pool::new(4);
         let f = |s: &mut u64, start: usize, out: &mut [f64]| {
             for (off, v) in out.iter_mut().enumerate() {
                 *s += 1; // scratch is per-worker; value independence matters
@@ -243,10 +323,10 @@ mod tests {
             }
         };
         let mut serial = vec![0.0; 1023];
-        par_chunks_mut(&mut serial, 64, 1, || 0u64, f);
+        pool.chunks_mut_scratch(&mut serial, 64, 1, |_| 0u64, f);
         for threads in [2, 3, 8] {
             let mut par = vec![0.0; 1023];
-            par_chunks_mut(&mut par, 64, threads, || 0u64, f);
+            pool.chunks_mut_scratch(&mut par, 64, threads, |_| 0u64, f);
             assert!(
                 serial.iter().zip(par.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
                 "thread count {threads} changed results"
@@ -256,28 +336,24 @@ mod tests {
 
     #[test]
     fn every_element_visited_exactly_once() {
+        let pool = Pool::new(5);
         let mut counts = vec![0u32; 509];
-        par_chunks_mut(
-            &mut counts,
-            7,
-            5,
-            || (),
-            |_, _, out| {
-                for v in out.iter_mut() {
-                    *v += 1;
-                }
-            },
-        );
+        pool.chunks_mut(&mut counts, 7, 5, |_, out| {
+            for v in out.iter_mut() {
+                *v += 1;
+            }
+        });
         assert!(counts.iter().all(|&c| c == 1));
     }
 
     #[test]
     fn paired_chunks_stay_aligned() {
+        let pool = Pool::new(4);
         let n = 777;
         let p: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let mut x = vec![0.0f64; n];
         let mut r = vec![100.0f64; n];
-        par_chunks2_mut(&mut x, &mut r, 32, 4, |start, xs, rs| {
+        pool.chunks2_mut(&mut x, &mut r, 32, 4, |start, xs, rs| {
             for off in 0..xs.len() {
                 xs[off] += 2.0 * p[start + off];
                 rs[off] -= p[start + off];
@@ -291,45 +367,57 @@ mod tests {
 
     #[test]
     fn jobs_all_run_exactly_once_for_every_thread_count() {
+        let pool = Pool::new(5);
         for threads in [1usize, 2, 5] {
             let mut out = vec![0u32; 100];
             let jobs: Vec<(usize, &mut u32)> = out.iter_mut().enumerate().collect();
-            par_jobs(jobs, threads, |(i, slot)| {
+            pool.jobs(jobs, threads, |(i, slot)| {
                 *slot += 1 + i as u32;
             });
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, 1 + i as u32, "job {i} at {threads} threads");
             }
         }
-        par_jobs(Vec::<usize>::new(), 4, |_| panic!("no jobs expected"));
+        pool.jobs(Vec::<usize>::new(), 4, |_| panic!("no jobs expected"));
     }
 
     #[test]
     fn reduction_is_thread_count_invariant() {
+        let pool = Pool::new(7);
         let body = |lo: usize, hi: usize| (lo..hi).map(|i| 1.0 / (1.0 + i as f64)).sum::<f64>();
-        let base = par_reduce_f64(10_000, 128, 1, body);
+        let base = pool.reduce_f64(10_000, 128, 1, body);
         for threads in [2, 4, 7] {
-            let v = par_reduce_f64(10_000, 128, threads, body);
+            let v = pool.reduce_f64(10_000, 128, threads, body);
             assert_eq!(base.to_bits(), v.to_bits());
         }
+        // The global-pool free function agrees with the explicit pool.
+        assert_eq!(base.to_bits(), par_reduce_f64(10_000, 128, 2, body).to_bits());
     }
 
     #[test]
     fn empty_and_tiny_inputs() {
+        let pool = Pool::new(4);
         let mut empty: Vec<f64> = vec![];
-        par_chunks_mut(&mut empty, 16, 4, || (), |_, _, _| panic!("no chunks expected"));
-        assert_eq!(par_reduce_f64(0, 16, 4, |_, _| 1.0), 0.0);
+        pool.chunks_mut(&mut empty, 16, 4, |_, _| panic!("no chunks expected"));
+        assert_eq!(pool.reduce_f64(0, 16, 4, |_, _| 1.0), 0.0);
         let mut one = vec![0.0f64];
-        par_chunks_mut(
-            &mut one,
-            16,
-            4,
-            || (),
-            |_, start, out| {
-                assert_eq!(start, 0);
-                out[0] = 42.0;
-            },
-        );
+        pool.chunks_mut(&mut one, 16, 4, |start, out| {
+            assert_eq!(start, 0);
+            out[0] = 42.0;
+        });
         assert_eq!(one[0], 42.0);
+    }
+
+    #[test]
+    fn free_functions_route_through_global_pool() {
+        let mut out = vec![0usize; 300];
+        par_chunks_mut(&mut out, 16, 4, |start, piece| {
+            for (off, v) in piece.iter_mut().enumerate() {
+                *v = start + off;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        // The global pool exists now and never spawned more than size-1.
+        assert!(global_threads_spawned() <= global_pool_size().saturating_sub(1));
     }
 }

@@ -1,0 +1,76 @@
+//! Per-thread scratch cache: workspaces survive across parallel regions.
+//!
+//! Pool workers are persistent threads, so a worker that built a BFS
+//! arena for one scoring region can hand the same allocation to the
+//! next region instead of re-allocating — that is what makes the
+//! `Fn(Option<S>) -> S` recycling factories of
+//! [`crate::par_chunks_mut_scratch`] pay off. The cache is a plain
+//! `thread_local`, which covers every participant uniformly: pool
+//! workers, the region owner (which claims jobs like a worker), and the
+//! serial path.
+//!
+//! One slot is kept per scratch **type** per thread. `take` removes the
+//! slot (so a nested region of the same type on the same thread gets a
+//! fresh build rather than an aliased one) and `store` puts the value
+//! back when the claim loop exits. Cached values are *capacity donors
+//! only*: the recycling factory owns validation (dimension checks,
+//! stamp resets) and must return a scratch that satisfies its body's
+//! preconditions regardless of what it was handed.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Linear map from scratch type to its cached value. Call sites use
+    /// a handful of distinct scratch types, so a `Vec` beats a hash map.
+    static CACHE: RefCell<Vec<(TypeId, Box<dyn Any>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Removes and returns this thread's cached scratch of type `S`, if any.
+pub(crate) fn take<S: 'static>() -> Option<S> {
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let id = TypeId::of::<S>();
+        let pos = cache.iter().position(|(t, _)| *t == id)?;
+        let (_, boxed) = cache.swap_remove(pos);
+        boxed.downcast::<S>().ok().map(|b| *b)
+    })
+}
+
+/// Caches `scratch` for this thread, replacing any previous value of the
+/// same type.
+pub(crate) fn store<S: 'static>(scratch: S) {
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let id = TypeId::of::<S>();
+        if let Some(slot) = cache.iter_mut().find(|(t, _)| *t == id) {
+            slot.1 = Box::new(scratch);
+        } else {
+            cache.push((id, Box::new(scratch)));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Marked(u32, Vec<f64>);
+
+    #[test]
+    fn take_returns_what_store_cached() {
+        assert!(take::<Marked>().is_none());
+        store(Marked(7, vec![1.0; 16]));
+        let got = take::<Marked>().expect("cached value present");
+        assert_eq!(got.0, 7);
+        assert_eq!(got.1.len(), 16);
+        assert!(take::<Marked>().is_none(), "take removes the slot");
+    }
+
+    #[test]
+    fn store_replaces_same_type() {
+        store(Marked(1, Vec::new()));
+        store(Marked(2, Vec::new()));
+        assert_eq!(take::<Marked>().expect("slot present").0, 2);
+    }
+}

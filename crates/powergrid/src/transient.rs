@@ -515,6 +515,31 @@ pub fn simulate_pcg(
 /// `solve_time` is the batch stepping time divided by `k` (amortized
 /// per-scenario cost); `total_pcg_iterations` is per scenario.
 ///
+/// ```
+/// use tracered_core::{Method, SparsifyConfig};
+/// use tracered_graph::laplacian::ShiftPolicy;
+/// use tracered_powergrid::synth::{synthesize, SynthConfig};
+/// use tracered_powergrid::transient::{simulate_pcg_batch, SourceScenario, TransientConfig};
+/// use tracered_solver::precond::CholPreconditioner;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pg = synthesize(&SynthConfig { mesh: 8, ..Default::default() });
+/// // Sparsify the conductance graph once (grounded by the pad
+/// // conductances), precondition every scenario and timestep with it.
+/// let cfg = SparsifyConfig::new(Method::TraceReduction)
+///     .shift(ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
+/// let sp = tracered_core::sparsify(pg.graph(), &cfg)?;
+/// let pre = CholPreconditioner::from_matrix(&sp.laplacian(pg.graph()))?;
+/// let scenarios =
+///     vec![SourceScenario::nominal(), SourceScenario::uniform(0.5, pg.sources().len())];
+/// let tcfg = TransientConfig { t_end: 1e-9, ..Default::default() };
+/// let results = simulate_pcg_batch(&pg, &tcfg, &pre, &[0], &scenarios)?;
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].times, results[1].times); // shared time grid
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`SparseError::NotPositiveDefinite`] if the DC system cannot be

@@ -65,6 +65,29 @@ impl BlockPcgSolution {
 /// Solves `A X = B` by blocked preconditioned conjugate gradient from
 /// zero initial guesses.
 ///
+/// ```
+/// use tracered_core::{sparsify, SparsifyConfig};
+/// use tracered_graph::gen::{grid2d, WeightProfile};
+/// use tracered_solver::pcg::PcgOptions;
+/// use tracered_solver::precond::CholPreconditioner;
+/// use tracered_solver::block_pcg;
+/// use tracered_sparse::MultiVec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = grid2d(12, 12, WeightProfile::Unit, 1);
+/// let sp = sparsify(&g, &SparsifyConfig::default())?;
+/// let lg = sp.graph_laplacian(&g);
+/// let pre = CholPreconditioner::from_matrix(&sp.laplacian(&g))?;
+/// // Four right-hand sides advance together: one SpMM and one blocked
+/// // preconditioner apply per iteration instead of four of each.
+/// let b = MultiVec::broadcast(&vec![1.0; g.num_nodes()], 4);
+/// let sol = block_pcg(&lg, &b, &pre, &PcgOptions::default());
+/// assert!(sol.all_converged());
+/// assert_eq!(sol.x.ncols(), 4);
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Panics
 ///
 /// Panics if dimensions disagree.

@@ -253,22 +253,16 @@ impl CscMatrix {
         assert_eq!(x.len(), self.ncols, "vector length must equal ncols");
         assert_eq!(y.len(), self.nrows, "output length must equal nrows");
         let chunk = tracered_par::chunk_size(self.nrows, threads, 512);
-        tracered_par::par_chunks_mut(
-            y,
-            chunk,
-            threads,
-            || (),
-            |_, start, out| {
-                for (off, yi) in out.iter_mut().enumerate() {
-                    let i = start + off;
-                    let mut acc = 0.0;
-                    for k in self.colptr[i]..self.colptr[i + 1] {
-                        acc += self.values[k] * x[self.rowidx[k]];
-                    }
-                    *yi = acc;
+        tracered_par::par_chunks_mut(y, chunk, threads, |start, out| {
+            for (off, yi) in out.iter_mut().enumerate() {
+                let i = start + off;
+                let mut acc = 0.0;
+                for k in self.colptr[i]..self.colptr[i + 1] {
+                    acc += self.values[k] * x[self.rowidx[k]];
                 }
-            },
-        );
+                *yi = acc;
+            }
+        });
     }
 
     /// Sparse matrix × dense block product `Y = A X` (SpMM).
@@ -669,17 +663,11 @@ const VEC_MIN_CHUNK: usize = 4096;
 pub fn par_axpy(y: &mut [f64], alpha: f64, x: &[f64], threads: usize) {
     assert_eq!(y.len(), x.len(), "axpy operands must have equal length");
     let chunk = tracered_par::chunk_size(y.len(), threads, VEC_MIN_CHUNK);
-    tracered_par::par_chunks_mut(
-        y,
-        chunk,
-        threads,
-        || (),
-        |_, start, out| {
-            for (off, yi) in out.iter_mut().enumerate() {
-                *yi += alpha * x[start + off];
-            }
-        },
-    );
+    tracered_par::par_chunks_mut(y, chunk, threads, |start, out| {
+        for (off, yi) in out.iter_mut().enumerate() {
+            *yi += alpha * x[start + off];
+        }
+    });
 }
 
 /// `p ← z + β p` on `threads` workers (the PCG direction update).
@@ -690,17 +678,11 @@ pub fn par_axpy(y: &mut [f64], alpha: f64, x: &[f64], threads: usize) {
 pub fn par_xpby(p: &mut [f64], beta: f64, z: &[f64], threads: usize) {
     assert_eq!(p.len(), z.len(), "xpby operands must have equal length");
     let chunk = tracered_par::chunk_size(p.len(), threads, VEC_MIN_CHUNK);
-    tracered_par::par_chunks_mut(
-        p,
-        chunk,
-        threads,
-        || (),
-        |_, start, out| {
-            for (off, pi) in out.iter_mut().enumerate() {
-                *pi = z[start + off] + beta * *pi;
-            }
-        },
-    );
+    tracered_par::par_chunks_mut(p, chunk, threads, |start, out| {
+        for (off, pi) in out.iter_mut().enumerate() {
+            *pi = z[start + off] + beta * *pi;
+        }
+    });
 }
 
 /// Chunked dot product `aᵀ b` on `threads` workers.

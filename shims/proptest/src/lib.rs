@@ -194,7 +194,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::Range;
 
-    /// Accepted sizes for [`vec`]: an exact length or a half-open range.
+    /// Accepted sizes for [`vec()`]: an exact length or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
