@@ -18,13 +18,24 @@
 //!   gap is why parallel vector kernels become profitable at much
 //!   smaller `n` with the pool.
 //!
+//! - `factor_scaling` — the parallel numeric Cholesky sweep: an n ×
+//!   threads grid of serial-vs-parallel factorization times
+//!   (`CholeskyFactor::factorize_threads`), with the elimination-tree
+//!   schedule's shape (jobs, parallel-column fraction, tree height)
+//!   recorded per cell. Written to a **separate** file (default
+//!   `BENCH_pr5.json`, override with `--factor-out <path>`) so the
+//!   factor-phase results diff independently of the PR 4 scaling file.
+//!   With `--check`, every parallel factor is asserted bit-identical to
+//!   the serial one (the determinism gate CI runs).
+//!
 //! Results print as a table and are written to `BENCH_pr4.json` (override
 //! with `--out <path>`) so later PRs can diff speedups and regressions.
 //! Scores are bit-identical across thread counts (verified here too);
 //! only wall-clock time changes.
 //!
 //! Usage: `cargo run --release -p tracered-bench --bin par_scaling --
-//! [--scale 1.0] [--threads 1,2,4,8] [--full] [--out BENCH_pr4.json]`
+//! [--scale 1.0] [--threads 1,2,4,8] [--full] [--out BENCH_pr4.json]
+//! [--factor-out BENCH_pr5.json] [--check]`
 
 use std::time::Instant;
 
@@ -37,6 +48,7 @@ use tracered_graph::mst::{spanning_tree, TreeKind};
 use tracered_graph::RootedTree;
 use tracered_solver::pcg::{pcg, PcgOptions};
 use tracered_solver::precond::CholPreconditioner;
+use tracered_sparse::chol::SymbolicCholesky;
 use tracered_sparse::order::Ordering;
 use tracered_sparse::{ApproxInverse, CholeskyFactor, SpaiOptions};
 
@@ -47,6 +59,8 @@ struct Args {
     threads: Vec<usize>,
     full: bool,
     out: String,
+    factor_out: String,
+    check: bool,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +69,8 @@ fn parse_args() -> Args {
         threads: vec![1, 2, 4, 8],
         full: false,
         out: "BENCH_pr4.json".to_string(),
+        factor_out: "BENCH_pr5.json".to_string(),
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -74,6 +90,8 @@ fn parse_args() -> Args {
             }
             "--full" => args.full = true,
             "--out" => args.out = it.next().expect("--out requires a path"),
+            "--factor-out" => args.factor_out = it.next().expect("--factor-out requires a path"),
+            "--check" => args.check = true,
             other => panic!("unknown argument '{other}'"),
         }
     }
@@ -304,6 +322,82 @@ fn main() {
 
     write_bench_json(&args.out, &records).expect("writing the bench JSON must succeed");
     println!("wrote {} records to {}", records.len(), args.out);
+
+    // --- Factor-scaling sweep: parallel numeric Cholesky (PR 5). ---
+    // An n × threads grid over progressively larger meshes, each cell a
+    // serial-vs-parallel factorization of the same shifted Laplacian.
+    // The factor is bit-identical at every thread count (asserted under
+    // --check), so the cells differ in wall-clock time only.
+    let mut factor_records: Vec<BenchRecord> = Vec::new();
+    for &base_dim in &[120usize, 220, 335] {
+        let fdim = ((base_dim as f64 * args.scale.sqrt()).round() as usize).max(12);
+        let fg = grid2d(fdim, fdim, WeightProfile::LogUniform { lo: 0.2, hi: 5.0 }, 42);
+        let fn_nodes = fg.num_nodes();
+        let fshift = 1e-3 * 2.0 * fg.total_weight() / fn_nodes as f64;
+        let fl = laplacian_with_shifts(&fg, &vec![fshift; fn_nodes]);
+
+        // Schedule shape under the min-degree ordering (what the sweep
+        // factors with): how much of the tree the subtree jobs cover.
+        let perm = Ordering::MinDegree.compute(&fl).expect("grid Laplacian is square");
+        let upper = fl.symmetric_perm_upper(&perm).expect("permutation matches");
+        let symbolic =
+            SymbolicCholesky::analyze(&upper).expect("symbolic analysis of an SPD matrix");
+
+        let t0 = Instant::now();
+        let serial = CholeskyFactor::factorize(&fl, Ordering::MinDegree).expect("grid is SPD");
+        let serial_s = t0.elapsed().as_secs_f64();
+
+        for &t in &args.threads {
+            let schedule = symbolic.schedule(t);
+            let t0 = Instant::now();
+            let par = CholeskyFactor::factorize_threads(&fl, Ordering::MinDegree, t).expect("SPD");
+            let secs = t0.elapsed().as_secs_f64();
+            if args.check {
+                assert_eq!(par.l().colptr(), serial.l().colptr(), "factor pattern changed");
+                assert_eq!(par.l().rowidx(), serial.l().rowidx(), "factor pattern changed");
+                assert!(
+                    par.l()
+                        .values()
+                        .iter()
+                        .zip(serial.l().values().iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "factor values changed at {t} threads — determinism contract broken"
+                );
+            }
+            let par_frac = schedule.parallel_columns() as f64 / fn_nodes as f64;
+            println!(
+                "factor_scaling n={fn_nodes} t={t}: serial {serial_s:.3}s, parallel {secs:.3}s \
+                 (speedup {:.2}×), {} jobs covering {:.0}% of {} levels",
+                serial_s / secs,
+                schedule.jobs().len(),
+                par_frac * 100.0,
+                schedule.num_levels(),
+            );
+            factor_records.push(
+                BenchRecord::new()
+                    .str("bench", "factor_scaling")
+                    .str("case", "grid2d-log")
+                    .str("ordering", "MinDegree")
+                    .int("nodes", fn_nodes as i64)
+                    .int("edges", fg.num_edges() as i64)
+                    .int("factor_nnz", serial.nnz() as i64)
+                    .int("factor_threads", t as i64)
+                    .int("available_parallelism", tracered_bench::available_parallelism() as i64)
+                    .int("pool_size", tracered_bench::pool_size() as i64)
+                    .num("serial_seconds", serial_s)
+                    .num("parallel_seconds", secs)
+                    .num("speedup_vs_serial", serial_s / secs)
+                    .int("schedule_jobs", schedule.jobs().len() as i64)
+                    .int("schedule_parallel_columns", schedule.parallel_columns() as i64)
+                    .num("schedule_parallel_fraction", par_frac)
+                    .int("etree_levels", schedule.num_levels() as i64)
+                    .int("checked", i64::from(args.check)),
+            );
+        }
+    }
+    write_bench_json(&args.factor_out, &factor_records)
+        .expect("writing the factor bench JSON must succeed");
+    println!("wrote {} records to {}", factor_records.len(), args.factor_out);
 }
 
 /// The PR 1–3 runtime, kept verbatim as the microbench baseline: chunk

@@ -151,6 +151,12 @@ fn main() {
             let base = *serial_s.get_or_insert(secs);
             let kap = kappa(&g, sp);
             let ratio = kap / global_kappa;
+            // Factor-phase accounting: aggregate per-iteration CPU time
+            // plus the resolved factor_threads knob (PR 5), so factor
+            // speedups are diffable from this file as well.
+            let factor_s: f64 =
+                sp.report().iterations.iter().map(|it| it.factor_time.as_secs_f64()).sum();
+            let factor_threads = sp.report().iterations.first().map_or(1, |it| it.factor_threads);
             records.push(
                 BenchRecord::new()
                     .str("bench", "sparsify_partitioned")
@@ -166,6 +172,8 @@ fn main() {
                     .num("partition_time", pr.partition_time.as_secs_f64())
                     .num("densify_time", pr.densify_time.as_secs_f64())
                     .num("stitch_time", pr.stitch_time.as_secs_f64())
+                    .num("factor_time", factor_s)
+                    .int("factor_threads", factor_threads as i64)
                     .int("cut_edges", pr.cut.count as i64)
                     .num("cut_weight", pr.cut.weight)
                     .num("balance_ratio", pr.balance_ratio)

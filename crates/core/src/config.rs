@@ -63,6 +63,7 @@ pub struct SparsifyConfig {
     seed: u64,
     track_trace: bool,
     threads: Option<usize>,
+    factor_threads: Option<usize>,
 }
 
 impl Default for SparsifyConfig {
@@ -103,6 +104,13 @@ impl SparsifyConfig {
             // Serial by default: scoring, resistances and SpMV stay on
             // the historical exact arithmetic path unless opted in.
             threads: Some(1),
+            // Factorization threads are a separate knob because the
+            // parallel numeric Cholesky is bit-identical at every count
+            // (unlike the chunk-rounded reductions behind `threads`),
+            // and because the partitioned driver parallelizes *across*
+            // partitions with `threads` while each partition can still
+            // factor in parallel *inside* its job with this knob.
+            factor_threads: Some(1),
         }
     }
 
@@ -120,6 +128,25 @@ impl SparsifyConfig {
     /// The configured thread knob (`None` = auto-detect).
     pub fn threads_value(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// Worker threads for the per-iteration subgraph Cholesky
+    /// factorizations: `Some(1)` (the default) is the serial up-looking
+    /// kernel, `Some(t)` factors independent elimination-tree subtrees
+    /// on `t` workers, `None` uses the hardware's available parallelism.
+    ///
+    /// The parallel factorization is **bit-identical** to the serial one
+    /// (see [`tracered_sparse::CholeskyFactor::factorize_threads`]), so
+    /// this knob changes `factor_time` only — sparsifier edge sets,
+    /// scores, and solve results are unchanged at every setting.
+    pub fn factor_threads(mut self, threads: Option<usize>) -> Self {
+        self.factor_threads = threads;
+        self
+    }
+
+    /// The configured factorization thread knob (`None` = auto-detect).
+    pub fn factor_threads_value(&self) -> Option<usize> {
+        self.factor_threads
     }
 
     /// Number of Johnson–Lindenstrauss probes (full-graph solves) for the
@@ -325,6 +352,11 @@ impl SparsifyConfig {
                 what: "threads must be at least 1 (use None for auto-detect)".into(),
             });
         }
+        if self.factor_threads == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                what: "factor_threads must be at least 1 (use None for auto-detect)".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -381,6 +413,7 @@ mod tests {
         assert!(SparsifyConfig::default().spai_threshold(-1.0).validate().is_err());
         assert!(SparsifyConfig::new(Method::Grass).grass_num_vectors(0).validate().is_err());
         assert!(SparsifyConfig::default().threads(Some(0)).validate().is_err());
+        assert!(SparsifyConfig::default().factor_threads(Some(0)).validate().is_err());
     }
 
     #[test]
@@ -390,5 +423,17 @@ mod tests {
         assert_eq!(auto.threads_value(), None);
         assert!(auto.validate().is_ok());
         assert_eq!(SparsifyConfig::default().threads(Some(8)).threads_value(), Some(8));
+    }
+
+    #[test]
+    fn factor_threads_knob_defaults_serial_and_accepts_auto() {
+        assert_eq!(SparsifyConfig::default().factor_threads_value(), Some(1));
+        let auto = SparsifyConfig::default().factor_threads(None);
+        assert_eq!(auto.factor_threads_value(), None);
+        assert!(auto.validate().is_ok());
+        let cfg = SparsifyConfig::default().factor_threads(Some(4));
+        assert_eq!(cfg.factor_threads_value(), Some(4));
+        // Independent of the scoring knob.
+        assert_eq!(cfg.threads_value(), Some(1));
     }
 }

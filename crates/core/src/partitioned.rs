@@ -13,7 +13,10 @@
 //! 3. run the **full densification loop** — spanning tree, criticality
 //!    scoring, recovery, local Cholesky refactorization — on every
 //!    partition concurrently ([`tracered_par::par_jobs`]), each under the
-//!    global shift vector restricted to its nodes;
+//!    global shift vector restricted to its nodes; with
+//!    [`SparsifyConfig::factor_threads`] > 1 the local factorizations
+//!    additionally split their elimination trees across pool workers
+//!    *inside* each partition job (nested parallel regions);
 //! 4. stitch the per-partition sparsifiers back together: partition
 //!    spanning forests are joined into one global spanning tree by
 //!    maximum-weight boundary connectors, and the remaining boundary
@@ -30,7 +33,7 @@ use std::time::{Duration, Instant};
 use tracered_graph::laplacian::ShiftPolicy;
 use tracered_graph::lca::tree_resistances_threads;
 use tracered_graph::{Graph, GraphError, RootedTree, UnionFind};
-use tracered_partition::{recursive_bisection, EdgeCut, PartitionPiece};
+use tracered_partition::{recursive_bisection_threads, EdgeCut, PartitionPiece};
 
 use crate::config::SparsifyConfig;
 use crate::criticality::tree_phase_scores_threads;
@@ -82,7 +85,11 @@ impl Default for BoundaryPolicy {
 /// decomposition knobs. The base config's `threads` knob controls the
 /// **outer** parallelism — how many partitions densify concurrently —
 /// while the per-partition runs stay on the exact serial scoring path,
-/// so nested parallel regions never oversubscribe the machine.
+/// so nested parallel regions never oversubscribe the machine. The
+/// `factor_threads` knob is the exception: it parallelizes the local
+/// Cholesky factorizations *within* each partition job (bit-identical
+/// to serial, so stitched edge sets are unchanged), which composes
+/// safely because pool regions work-steal rather than spawn.
 ///
 /// # Example
 ///
@@ -141,6 +148,20 @@ impl PartitionedConfig {
     /// knob (`Some(1)` serial, `None` auto-detect).
     pub fn threads(mut self, threads: Option<usize>) -> Self {
         self.base = self.base.threads(threads);
+        self
+    }
+
+    /// Factorization worker threads — forwarded to the base config's
+    /// [`SparsifyConfig::factor_threads`] knob. Unlike the scoring
+    /// `threads` knob (which the per-partition runs pin to 1 so the
+    /// outer fan-out is the only chunk-parallel region), this one
+    /// reaches **inside** each partition job: the per-iteration local
+    /// Cholesky factorizations split their elimination trees across
+    /// pool workers, composing with the outer `par_jobs` region through
+    /// the pool's nested-region work stealing. Also used by the spectral
+    /// partitioner's own full-size `DirectSolver` factorization.
+    pub fn factor_threads(mut self, threads: Option<usize>) -> Self {
+        self.base = self.base.factor_threads(threads);
         self
     }
 
@@ -323,13 +344,15 @@ pub fn sparsify_partitioned(
         return Err(GraphError::Disconnected { components: g.num_components() }.into());
     }
     let threads = tracered_par::effective_threads(cfg.base.threads_value());
+    let factor_threads = tracered_par::effective_threads(cfg.base.factor_threads_value());
     let t_start = Instant::now();
 
     // --- Decompose. ---
     let t0 = Instant::now();
     let k = cfg.parts.min(n);
-    let kw = recursive_bisection(g, k, cfg.fiedler_steps, cfg.base.seed_value())
-        .map_err(CoreError::Sparse)?;
+    let kw =
+        recursive_bisection_threads(g, k, cfg.fiedler_steps, cfg.base.seed_value(), factor_threads)
+            .map_err(CoreError::Sparse)?;
     let subs = kw.extract_subgraphs(g);
     let cut = kw.edge_cut(g);
     let balance_ratio = kw.balance_ratio();
@@ -462,7 +485,8 @@ pub fn sparsify_partitioned(
     }
     edge_ids.extend_from_slice(&boundary_recovered);
 
-    let mut iterations = merge_iterations(part_results.iter().map(|pr| &pr.report), threads);
+    let mut iterations =
+        merge_iterations(part_results.iter().map(|pr| &pr.report), threads, factor_threads);
     // The boundary phase is reported as one final pseudo-iteration so the
     // merged report still accounts for every recovered edge.
     if boundary_scored > 0 || !boundary_recovered.is_empty() {
@@ -476,6 +500,7 @@ pub fn sparsify_partitioned(
             spai_nnz: 0,
             trace_estimate: None,
             threads,
+            factor_threads,
             pool_size: tracered_par::global_pool_size(),
         });
     }
@@ -572,13 +597,16 @@ fn densify_piece(
         recovered.extend(ids[sp.tree_edge_count()..].iter().map(|&e| to_global(e)));
         reports.push(sp.report().clone());
     }
+    // Local scoring is pinned serial; factorizations inside the job may
+    // still fan out through the nested-region pool support.
     let threads = 1;
+    let factor_threads = tracered_par::effective_threads(cfg.base.factor_threads_value());
     let merged = SparsifyReport {
         method: cfg.base.method(),
         total_time: reports.iter().map(|r| r.total_time).sum(),
         tree_time: reports.iter().map(|r| r.tree_time).sum(),
         budget: reports.iter().map(|r| r.budget).sum(),
-        iterations: merge_iterations(reports.iter(), threads),
+        iterations: merge_iterations(reports.iter(), threads, factor_threads),
     };
     Ok(PartResult { tree_edges, recovered, components: components.len(), report: merged })
 }
@@ -590,6 +618,7 @@ fn densify_piece(
 fn merge_iterations<'a>(
     reports: impl Iterator<Item = &'a SparsifyReport>,
     threads: usize,
+    factor_threads: usize,
 ) -> Vec<IterationStats> {
     let reports: Vec<&SparsifyReport> = reports.collect();
     let mut merged: Vec<IterationStats> = Vec::new();
@@ -611,6 +640,7 @@ fn merge_iterations<'a>(
                     spai_nnz: 0,
                     trace_estimate: None,
                     threads,
+                    factor_threads,
                     pool_size: tracered_par::global_pool_size(),
                 });
                 trace_sources.push(0);

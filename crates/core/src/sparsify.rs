@@ -53,6 +53,12 @@ pub struct IterationStats {
     /// `score_time` across runs at different thread counts gives the
     /// score-phase speedup — scores themselves are bit-identical.
     pub threads: usize,
+    /// Worker threads the subgraph Cholesky factorizations ran on
+    /// (resolved from [`SparsifyConfig::factor_threads`]; 1 = serial
+    /// up-looking kernel). The parallel factorization is bit-identical
+    /// to serial, so comparing `factor_time` across runs at different
+    /// settings gives the factor-phase speedup directly.
+    pub factor_threads: usize,
     /// Size of the process-global worker pool when this iteration ran
     /// ([`tracered_par::global_pool_size`]): the `TRACERED_THREADS`
     /// override or the OS-reported parallelism. `threads` above is the
@@ -242,6 +248,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
     let nr = cfg.num_iterations();
     let lg = laplacian_with_shifts(g, &shifts);
     let threads = tracered_par::effective_threads(cfg.threads_value());
+    let factor_threads = tracered_par::effective_threads(cfg.factor_threads_value());
     let mut rng = probe_rng(cfg.seed_value());
 
     let mut selected = st.tree_edges.clone();
@@ -266,11 +273,14 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
             spai_nnz: 0,
             trace_estimate: None,
             threads,
+            factor_threads,
             pool_size: tracered_par::global_pool_size(),
         };
         if cfg.track_trace_enabled() {
             let ls = subgraph_laplacian(g, &selected, &shifts);
-            if let Ok(factor) = CholeskyFactor::factorize(&ls, cfg.ordering_value()) {
+            if let Ok(factor) =
+                CholeskyFactor::factorize_threads(&ls, cfg.ordering_value(), factor_threads)
+            {
                 stats.trace_estimate = Some(crate::metrics::trace_proxy_hutchinson_threads(
                     &lg,
                     &factor,
@@ -304,7 +314,11 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 Method::Grass => {
                     let t_factor = Instant::now();
                     let ls = subgraph_laplacian(g, &selected, &shifts);
-                    let factor = CholeskyFactor::factorize(&ls, cfg.ordering_value())?;
+                    let factor = CholeskyFactor::factorize_threads(
+                        &ls,
+                        cfg.ordering_value(),
+                        factor_threads,
+                    )?;
                     stats.factor_time = t_factor.elapsed();
                     grass_scores_threads(
                         g,
@@ -322,7 +336,11 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                     // which costs a full-graph factorization — exactly the
                     // expense the paper's introduction calls out.
                     let t_factor = Instant::now();
-                    let full_factor = CholeskyFactor::factorize(&lg, cfg.ordering_value())?;
+                    let full_factor = CholeskyFactor::factorize_threads(
+                        &lg,
+                        cfg.ordering_value(),
+                        factor_threads,
+                    )?;
                     stats.factor_time = t_factor.elapsed();
                     crate::jl::jl_scores(
                         g,
@@ -334,12 +352,20 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 }
             }
         } else {
-            let t_factor = Instant::now();
-            let ls = subgraph_laplacian(g, &selected, &shifts);
-            let factor = CholeskyFactor::factorize(&ls, cfg.ordering_value())?;
-            stats.factor_time = t_factor.elapsed();
+            // Refactorize the current subgraph only for the methods that
+            // score against it; the single-pass rankings below never read
+            // the subgraph factor.
+            let subgraph_factor = |stats: &mut IterationStats| {
+                let t_factor = Instant::now();
+                let ls = subgraph_laplacian(g, &selected, &shifts);
+                let factor =
+                    CholeskyFactor::factorize_threads(&ls, cfg.ordering_value(), factor_threads);
+                stats.factor_time = t_factor.elapsed();
+                factor
+            };
             match cfg.method() {
                 Method::TraceReduction => {
+                    let factor = subgraph_factor(&mut stats)?;
                     let zinv = ApproxInverse::build(
                         factor.l(),
                         SpaiOptions::with_threshold(cfg.spai_threshold_value()),
@@ -356,16 +382,19 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                         threads,
                     )
                 }
-                Method::Grass => grass_scores_threads(
-                    g,
-                    &lg,
-                    &factor,
-                    &candidates,
-                    cfg.grass_power_steps_value(),
-                    cfg.grass_num_vectors_value(),
-                    &mut rng,
-                    threads,
-                ),
+                Method::Grass => {
+                    let factor = subgraph_factor(&mut stats)?;
+                    grass_scores_threads(
+                        g,
+                        &lg,
+                        &factor,
+                        &candidates,
+                        cfg.grass_power_steps_value(),
+                        cfg.grass_num_vectors_value(),
+                        &mut rng,
+                        threads,
+                    )
+                }
                 Method::EffectiveResistance => {
                     // Single-pass method; if the user forces more
                     // iterations, keep re-ranking by tree resistance.
@@ -381,7 +410,11 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 Method::JlResistance => {
                     // Single-pass method: keep the full-graph ranking.
                     let t_factor = Instant::now();
-                    let full_factor = CholeskyFactor::factorize(&lg, cfg.ordering_value())?;
+                    let full_factor = CholeskyFactor::factorize_threads(
+                        &lg,
+                        cfg.ordering_value(),
+                        factor_threads,
+                    )?;
                     stats.factor_time = t_factor.elapsed();
                     crate::jl::jl_scores(
                         g,

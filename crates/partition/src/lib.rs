@@ -88,8 +88,24 @@ fn split(g: &Graph, fiedler: Vec<f64>, inner_iterations: usize) -> Bisection {
 ///
 /// Returns [`SparseError::NotPositiveDefinite`] for degenerate inputs.
 pub fn bisect_direct(g: &Graph, steps: usize, seed: u64) -> Result<Bisection, SparseError> {
+    bisect_direct_threads(g, steps, seed, 1)
+}
+
+/// [`bisect_direct`] with the Laplacian factorization running on up to
+/// `factor_threads` pool workers. The parallel factor is bit-identical
+/// to the serial one, so the bisection is unchanged at every count.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] for degenerate inputs.
+pub fn bisect_direct_threads(
+    g: &Graph,
+    steps: usize,
+    seed: u64,
+    factor_threads: usize,
+) -> Result<Bisection, SparseError> {
     let (l, _) = shifted_laplacian(g);
-    let solver = DirectSolver::new(&l)?;
+    let solver = DirectSolver::new_threads(&l, factor_threads)?;
     let res = fiedler_vector(g.num_nodes(), |b| (solver.solve(b), 0), steps, seed);
     Ok(split(g, res.vector, 0))
 }
@@ -308,12 +324,38 @@ pub fn recursive_bisection(
     steps: usize,
     seed: u64,
 ) -> Result<KWayPartition, SparseError> {
+    recursive_bisection_threads(g, k, steps, seed, 1)
+}
+
+/// [`recursive_bisection`] with the per-level `DirectSolver`
+/// factorizations running on up to `factor_threads` pool workers (see
+/// [`DirectSolver::new_threads`]).
+///
+/// The partitioner's own full-size factorization dominates setup time on
+/// one core, so this is where the parallel numeric Cholesky pays off
+/// first. The parallel factor is bit-identical to the serial one, so the
+/// resulting partition is **the same** at every thread count.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] for degenerate inputs.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the graph is empty.
+pub fn recursive_bisection_threads(
+    g: &Graph,
+    k: usize,
+    steps: usize,
+    seed: u64,
+    factor_threads: usize,
+) -> Result<KWayPartition, SparseError> {
     assert!(k > 0, "at least one part is required");
     assert!(g.num_nodes() > 0, "graph must be non-empty");
     let mut assignment = vec![0usize; g.num_nodes()];
     let all: Vec<usize> = (0..g.num_nodes()).collect();
     let mut next_part = 0usize;
-    partition_rec(g, &all, k, steps, seed, &mut assignment, &mut next_part)?;
+    partition_rec(g, &all, k, steps, seed, factor_threads, &mut assignment, &mut next_part)?;
     let cut_weight =
         g.edges().iter().filter(|e| assignment[e.u] != assignment[e.v]).map(|e| e.weight).sum();
     Ok(KWayPartition { assignment, parts: next_part, cut_weight })
@@ -321,12 +363,14 @@ pub fn recursive_bisection(
 
 /// Recursive helper: partitions the node subset `nodes` into `k` parts,
 /// writing final part ids through `assignment` / `next_part`.
+#[allow(clippy::too_many_arguments)]
 fn partition_rec(
     g: &Graph,
     nodes: &[usize],
     k: usize,
     steps: usize,
     seed: u64,
+    factor_threads: usize,
     assignment: &mut [usize],
     next_part: &mut usize,
 ) -> Result<(), SparseError> {
@@ -347,7 +391,7 @@ fn partition_rec(
         // Split at the size-proportional quantile of the Fiedler vector.
         let shift = 1e-3 * 2.0 * sub.total_weight() / sub.num_nodes().max(1) as f64;
         let l = laplacian_with_shifts(&sub, &vec![shift; sub.num_nodes()]);
-        let solver = DirectSolver::new(&l)?;
+        let solver = DirectSolver::new_threads(&l, factor_threads)?;
         let res = fiedler_vector(sub.num_nodes(), |b| (solver.solve(b), 0), steps, seed);
         let mut order: Vec<usize> = (0..sub.num_nodes()).collect();
         order.sort_by(|&a, &b| {
@@ -371,8 +415,26 @@ fn partition_rec(
         }
         (left, right)
     };
-    partition_rec(g, &left, k_left, steps, seed.wrapping_add(1), assignment, next_part)?;
-    partition_rec(g, &right, k_right, steps, seed.wrapping_add(2), assignment, next_part)
+    partition_rec(
+        g,
+        &left,
+        k_left,
+        steps,
+        seed.wrapping_add(1),
+        factor_threads,
+        assignment,
+        next_part,
+    )?;
+    partition_rec(
+        g,
+        &right,
+        k_right,
+        steps,
+        seed.wrapping_add(2),
+        factor_threads,
+        assignment,
+        next_part,
+    )
 }
 
 /// Fraction of nodes assigned to different sides, minimised over the

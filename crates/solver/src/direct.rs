@@ -46,12 +46,25 @@ impl DirectSolver {
     /// Returns [`SparseError::NotPositiveDefinite`] for singular or
     /// indefinite input.
     pub fn new(a: &CscMatrix) -> Result<Self, SparseError> {
+        Self::new_threads(a, 1)
+    }
+
+    /// [`DirectSolver::new`] with the numeric factorization running on up
+    /// to `threads` workers of the global pool: independent
+    /// elimination-tree subtrees factor concurrently
+    /// ([`CholeskyFactor::factorize_threads`]), bit-identical to the
+    /// serial factor at every thread count — only `factor_time` changes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DirectSolver::new`].
+    pub fn new_threads(a: &CscMatrix, threads: usize) -> Result<Self, SparseError> {
         let t = Instant::now();
         let (_, perm, _) = tracered_sparse::order::select_ordering(
             a,
             &[Ordering::MinDegree, Ordering::NestedDissection],
         )?;
-        let factor = CholeskyFactor::factorize_with_perm(a, perm)?;
+        let factor = CholeskyFactor::factorize_with_perm_threads(a, perm, threads)?;
         Ok(DirectSolver { factor, factor_time: t.elapsed() })
     }
 
@@ -61,8 +74,22 @@ impl DirectSolver {
     ///
     /// Same conditions as [`DirectSolver::new`].
     pub fn with_ordering(a: &CscMatrix, ordering: Ordering) -> Result<Self, SparseError> {
+        Self::with_ordering_threads(a, ordering, 1)
+    }
+
+    /// [`DirectSolver::with_ordering`] with the parallel numeric phase of
+    /// [`DirectSolver::new_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DirectSolver::new`].
+    pub fn with_ordering_threads(
+        a: &CscMatrix,
+        ordering: Ordering,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
         let t = Instant::now();
-        let factor = CholeskyFactor::factorize(a, ordering)?;
+        let factor = CholeskyFactor::factorize_threads(a, ordering, threads)?;
         Ok(DirectSolver { factor, factor_time: t.elapsed() })
     }
 

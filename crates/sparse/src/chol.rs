@@ -62,6 +62,28 @@ impl SymbolicCholesky {
     pub fn parent(&self) -> &[usize] {
         &self.parent
     }
+
+    /// Nonzeros per factor column (including the diagonal), from the
+    /// symbolic column pointers.
+    pub fn column_counts(&self) -> Vec<usize> {
+        self.lcolptr.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Per-column cost model for the level-set schedule: the square of
+    /// the factor column count, the standard flop proxy for the
+    /// up-looking kernel (row `k`'s triangular solve streams every
+    /// descendant column once per nonzero it contributes).
+    pub fn column_costs(&self) -> Vec<u64> {
+        self.column_counts().into_iter().map(|c| (c as u64).pow(2)).collect()
+    }
+
+    /// Builds the elimination-tree schedule the parallel numeric kernel
+    /// runs on: balanced subtree jobs under the
+    /// [`SymbolicCholesky::column_costs`] model plus the serial
+    /// top-of-tree tail. See [`etree::EtreeSchedule`].
+    pub fn schedule(&self, threads: usize) -> etree::EtreeSchedule {
+        etree::EtreeSchedule::build(&self.parent, &self.column_costs(), threads)
+    }
 }
 
 /// A sparse Cholesky factorization `P A Pᵀ = L Lᵀ`.
@@ -104,8 +126,47 @@ impl CholeskyFactor {
     /// Returns [`SparseError::NotSquare`] for rectangular inputs and
     /// [`SparseError::NotPositiveDefinite`] when a pivot fails.
     pub fn factorize(a: &CscMatrix, ordering: Ordering) -> Result<Self, SparseError> {
+        Self::factorize_threads(a, ordering, 1)
+    }
+
+    /// [`CholeskyFactor::factorize`] with the numeric phase running on up
+    /// to `threads` worker threads of the global `tracered_par` pool:
+    /// independent elimination-tree subtrees factor concurrently and the
+    /// dense top-of-tree columns run on the serial kernel (see
+    /// [`crate::etree::EtreeSchedule`]).
+    ///
+    /// The factor is **bit-identical** to the serial one at every thread
+    /// count: each column's summation order is fixed by the etree (a
+    /// column's updates come from its ancestors, which form a chain), so
+    /// the schedule changes only wall-clock time. `threads <= 1` is the
+    /// exact historical serial path.
+    ///
+    /// ```
+    /// use tracered_sparse::{CholeskyFactor, CooMatrix, order::Ordering};
+    ///
+    /// # fn main() -> Result<(), tracered_sparse::SparseError> {
+    /// let mut coo = CooMatrix::new(3, 3);
+    /// for i in 0..3 { coo.push(i, i, 2.0)?; }
+    /// coo.push_symmetric(0, 1, -1.0)?;
+    /// coo.push_symmetric(1, 2, -1.0)?;
+    /// let a = coo.to_csc();
+    /// let serial = CholeskyFactor::factorize(&a, Ordering::Natural)?;
+    /// let parallel = CholeskyFactor::factorize_threads(&a, Ordering::Natural, 4)?;
+    /// assert_eq!(serial.l().values(), parallel.l().values());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CholeskyFactor::factorize`].
+    pub fn factorize_threads(
+        a: &CscMatrix,
+        ordering: Ordering,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
         let perm = ordering.compute(a)?;
-        Self::factorize_with_perm(a, perm)
+        Self::factorize_with_perm_threads(a, perm, threads)
     }
 
     /// Factorizes with a caller-provided permutation.
@@ -115,9 +176,27 @@ impl CholeskyFactor {
     /// Same conditions as [`CholeskyFactor::factorize`], plus
     /// [`SparseError::DimensionMismatch`] if the permutation size differs.
     pub fn factorize_with_perm(a: &CscMatrix, perm: Permutation) -> Result<Self, SparseError> {
+        Self::factorize_with_perm_threads(a, perm, 1)
+    }
+
+    /// [`CholeskyFactor::factorize_with_perm`] with the parallel numeric
+    /// phase of [`CholeskyFactor::factorize_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CholeskyFactor::factorize_with_perm`].
+    pub fn factorize_with_perm_threads(
+        a: &CscMatrix,
+        perm: Permutation,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
         let c = a.symmetric_perm_upper(&perm)?;
         let symbolic = SymbolicCholesky::analyze(&c)?;
-        let l = numeric_up_looking(&c, &symbolic)?;
+        let l = if threads > 1 {
+            numeric_up_looking_parallel(&c, &symbolic, threads)?
+        } else {
+            numeric_up_looking(&c, &symbolic)?
+        };
         Ok(CholeskyFactor { perm, l })
     }
 
@@ -239,6 +318,68 @@ impl CholeskyFactor {
     }
 }
 
+/// One up-looking row step on the **shared** factor arrays: computes row
+/// `k` of `L` — ereach pattern, scatter of column `k` of `C`, the
+/// triangular solve against the completed descendant columns, and the
+/// pivot — appending `L(k, j)` through the `next` cursors. This single
+/// body is the reference arithmetic both the serial sweep and the
+/// parallel path's top-of-tree tail execute (the job-local kernel in
+/// [`factor_subtree_job`] mirrors it through a local column map), which
+/// is what keeps the bit-identity contract in one place.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] when the pivot fails.
+#[allow(clippy::too_many_arguments)]
+fn factor_row_shared(
+    c: &CscMatrix,
+    parent: &[usize],
+    k: usize,
+    lcolptr: &[usize],
+    lrowidx: &mut [usize],
+    lvalues: &mut [f64],
+    next: &mut [usize],
+    stack: &mut [usize],
+    wmark: &mut [usize],
+    x: &mut [f64],
+) -> Result<(), SparseError> {
+    let n = c.ncols();
+    // Pattern of row k of L, in topological order.
+    let top = etree::ereach(c, k, parent, stack, wmark);
+    // Scatter the upper-triangle column k of C (rows <= k) into x.
+    let (rows, vals) = c.col(k);
+    let mut d = 0.0;
+    for (&r, &v) in rows.iter().zip(vals.iter()) {
+        if r < k {
+            x[r] = v;
+        } else if r == k {
+            d = v;
+        }
+    }
+    // Solve the triangular system for row k.
+    for &j in &stack[top..n] {
+        let ljj = lvalues[lcolptr[j]]; // diagonal is first entry of column j
+        let lkj = x[j] / ljj;
+        x[j] = 0.0;
+        for p in (lcolptr[j] + 1)..next[j] {
+            x[lrowidx[p]] -= lvalues[p] * lkj;
+        }
+        d -= lkj * lkj;
+        let slot = next[j];
+        next[j] += 1;
+        lrowidx[slot] = k;
+        lvalues[slot] = lkj;
+    }
+    if d <= 0.0 || !d.is_finite() {
+        return Err(SparseError::NotPositiveDefinite { column: k });
+    }
+    let slot = next[k];
+    next[k] += 1;
+    lrowidx[slot] = k;
+    lvalues[slot] = d.sqrt();
+    Ok(())
+}
+
 /// Up-looking numeric factorization of the upper triangle `c` of the
 /// permuted matrix, with precomputed symbolic structure.
 fn numeric_up_looking(
@@ -257,9 +398,72 @@ fn numeric_up_looking(
     let mut x = vec![0.0f64; n]; // dense row accumulator
 
     for k in 0..n {
-        // Pattern of row k of L, in topological order.
+        factor_row_shared(
+            c,
+            &symbolic.parent,
+            k,
+            &lcolptr,
+            &mut lrowidx,
+            &mut lvalues,
+            &mut next,
+            &mut stack,
+            &mut wmark,
+            &mut x,
+        )?;
+    }
+    debug_assert!(
+        (0..n).all(|j| next[j] == lcolptr[j + 1]),
+        "numeric fill must match symbolic counts"
+    );
+    CscMatrix::from_raw_parts(n, n, lcolptr, lrowidx, lvalues)
+}
+
+/// Matrices below this dimension never amortize the schedule build and
+/// job scratch, so the parallel numeric path falls back to serial.
+const PARALLEL_MIN_COLS: usize = 128;
+
+/// One subtree job's private slice of the factor: columns owned by the
+/// job, stored contiguously in job-local order.
+#[derive(Default)]
+struct SubtreeFactor {
+    /// Local column pointers (length `cols.len() + 1`).
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+    /// Entries actually written per local column (a prefix of the
+    /// symbolic count: the rest comes from serial-tail rows later).
+    filled: Vec<usize>,
+    /// First non-positive pivot the job hit, if any.
+    failed_column: Option<usize>,
+}
+
+/// Up-looking factorization of one job's subtree union: the job's rows in
+/// ascending order, reading and writing only the job's own columns.
+///
+/// This mirrors [`factor_row_shared`] line for line — same `ereach`
+/// pattern, same topological update loop, same append order — just
+/// addressed through the job's local column map (which is why it cannot
+/// reuse the shared-array body verbatim), so every column it produces is
+/// bit-identical to the serial kernel's.
+fn factor_subtree_job(c: &CscMatrix, symbolic: &SymbolicCholesky, cols: &[usize]) -> SubtreeFactor {
+    let n = c.ncols();
+    let mut local_of = vec![usize::MAX; n];
+    let mut colptr = Vec::with_capacity(cols.len() + 1);
+    colptr.push(0usize);
+    for (li, &j) in cols.iter().enumerate() {
+        local_of[j] = li;
+        colptr.push(colptr[li] + (symbolic.lcolptr[j + 1] - symbolic.lcolptr[j]));
+    }
+    let nnz = *colptr.last().expect("colptr starts with a 0 entry");
+    let mut rowidx = vec![0usize; nnz];
+    let mut values = vec![0.0f64; nnz];
+    let mut next: Vec<usize> = colptr[..cols.len()].to_vec();
+    let mut stack = vec![0usize; n];
+    let mut wmark = vec![usize::MAX; n];
+    let mut x = vec![0.0f64; n];
+    let mut failed_column = None;
+    for &k in cols {
         let top = etree::ereach(c, k, &symbolic.parent, &mut stack, &mut wmark);
-        // Scatter the upper-triangle column k of C (rows <= k) into x.
         let (rows, vals) = c.col(k);
         let mut d = 0.0;
         for (&r, &v) in rows.iter().zip(vals.iter()) {
@@ -269,27 +473,125 @@ fn numeric_up_looking(
                 d = v;
             }
         }
-        // Solve the triangular system for row k.
         for &j in &stack[top..n] {
-            let ljj = lvalues[lcolptr[j]]; // diagonal is first entry of column j
+            // Row k's pattern is a pruned subtree below k, so every j is
+            // an etree descendant of k and lives in this job.
+            let lj = local_of[j];
+            debug_assert!(lj != usize::MAX, "ereach must stay inside the job's subtrees");
+            let pj = colptr[lj];
+            let ljj = values[pj];
             let lkj = x[j] / ljj;
             x[j] = 0.0;
-            for p in (lcolptr[j] + 1)..next[j] {
-                x[lrowidx[p]] -= lvalues[p] * lkj;
+            for p in (pj + 1)..next[lj] {
+                x[rowidx[p]] -= values[p] * lkj;
             }
             d -= lkj * lkj;
-            let slot = next[j];
-            next[j] += 1;
-            lrowidx[slot] = k;
-            lvalues[slot] = lkj;
+            let slot = next[lj];
+            next[lj] += 1;
+            rowidx[slot] = k;
+            values[slot] = lkj;
         }
         if d <= 0.0 || !d.is_finite() {
-            return Err(SparseError::NotPositiveDefinite { column: k });
+            failed_column = Some(k);
+            break;
         }
-        let slot = next[k];
-        next[k] += 1;
-        lrowidx[slot] = k;
-        lvalues[slot] = d.sqrt();
+        let lk = local_of[k];
+        let slot = next[lk];
+        next[lk] += 1;
+        rowidx[slot] = k;
+        values[slot] = d.sqrt();
+    }
+    let filled = (0..cols.len()).map(|li| next[li] - colptr[li]).collect();
+    SubtreeFactor { colptr, rowidx, values, filled, failed_column }
+}
+
+/// Parallel up-looking numeric factorization: independent etree subtrees
+/// factor concurrently as [`tracered_par::par_jobs`], then the serial
+/// kernel finishes the dense top-of-tree rows.
+///
+/// Bit-identical to [`numeric_up_looking`] at every thread count. Why:
+/// the writers of factor column `j` are `j`'s etree ancestors, which
+/// form a chain with strictly increasing indices, so "append in
+/// ascending row order within each owner" — what the subtree phase and
+/// the ascending serial tail both do — reproduces the serial kernel's
+/// per-column summation order exactly; and every value feeding a row's
+/// triangular solve comes from completed descendant columns, computed
+/// identically. The same chain argument makes error reporting serial-
+/// equivalent: the smallest failing pivot across jobs and the tail
+/// prefix below it is exactly the pivot the serial sweep hits first.
+fn numeric_up_looking_parallel(
+    c: &CscMatrix,
+    symbolic: &SymbolicCholesky,
+    threads: usize,
+) -> Result<CscMatrix, SparseError> {
+    let n = c.ncols();
+    if n < PARALLEL_MIN_COLS {
+        return numeric_up_looking(c, symbolic);
+    }
+    let schedule = symbolic.schedule(threads);
+    if schedule.jobs().len() <= 1 {
+        return numeric_up_looking(c, symbolic);
+    }
+    let lcolptr = symbolic.lcolptr.clone();
+    let nnz = symbolic.factor_nnz();
+    let mut lrowidx = vec![0usize; nnz];
+    let mut lvalues = vec![0.0f64; nnz];
+    let mut next = lcolptr.clone();
+
+    // --- Phase 1: factor the independent subtree jobs concurrently. ---
+    let mut outs: Vec<SubtreeFactor> = Vec::new();
+    outs.resize_with(schedule.jobs().len(), SubtreeFactor::default);
+    let jobs: Vec<(&Vec<usize>, &mut SubtreeFactor)> =
+        schedule.jobs().iter().zip(outs.iter_mut()).collect();
+    tracered_par::par_jobs(jobs, threads, |(cols, out)| {
+        *out = factor_subtree_job(c, symbolic, cols);
+    });
+
+    // Merge the job prefixes into the shared factor. Jobs own disjoint
+    // column sets, so this is a straight copy plus cursor bump; partial
+    // fills of a failed job are kept so the tail prefix below the
+    // failure still sees exactly the serial kernel's state.
+    let mut first_failure: Option<usize> = None;
+    for (cols, out) in schedule.jobs().iter().zip(outs.iter()) {
+        if let Some(col) = out.failed_column {
+            first_failure = Some(first_failure.map_or(col, |c0| c0.min(col)));
+        }
+        for (li, &j) in cols.iter().enumerate() {
+            let len = out.filled[li];
+            let src = out.colptr[li]..out.colptr[li] + len;
+            lrowidx[lcolptr[j]..lcolptr[j] + len].copy_from_slice(&out.rowidx[src.clone()]);
+            lvalues[lcolptr[j]..lcolptr[j] + len].copy_from_slice(&out.values[src]);
+            next[j] = lcolptr[j] + len;
+        }
+    }
+
+    // --- Phase 2: serial tail over the top-of-tree rows, ascending. ---
+    // On a job failure only the tail rows *below* the failing pivot run:
+    // they are the tail rows the serial sweep would still have reached,
+    // and a failure among them preempts the job's (it is smaller).
+    let stop = first_failure.unwrap_or(usize::MAX);
+    let mut stack = vec![0usize; n];
+    let mut wmark = vec![usize::MAX; n];
+    let mut x = vec![0.0f64; n];
+    for &k in schedule.serial_tail() {
+        if k >= stop {
+            break;
+        }
+        factor_row_shared(
+            c,
+            &symbolic.parent,
+            k,
+            &lcolptr,
+            &mut lrowidx,
+            &mut lvalues,
+            &mut next,
+            &mut stack,
+            &mut wmark,
+            &mut x,
+        )?;
+    }
+    if let Some(column) = first_failure {
+        return Err(SparseError::NotPositiveDefinite { column });
     }
     debug_assert!(
         (0..n).all(|j| next[j] == lcolptr[j + 1]),
@@ -629,5 +931,69 @@ mod tests {
         let f = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
         assert_eq!(f.nnz(), f.l().nnz());
         assert!(f.memory_bytes() > 0);
+    }
+
+    fn assert_factors_bit_identical(a: &CscMatrix, b: &CscMatrix) {
+        assert_eq!(a.colptr(), b.colptr());
+        assert_eq!(a.rowidx(), b.rowidx());
+        assert!(
+            a.values().iter().zip(b.values().iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "factor values diverged"
+        );
+    }
+
+    #[test]
+    fn parallel_factor_is_bit_identical_to_serial() {
+        // 13×13 grid: 169 columns, above the parallel fallback threshold.
+        let a = grid_laplacian_shifted(13, 0.3);
+        for ord in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree] {
+            let serial = CholeskyFactor::factorize(&a, ord).unwrap();
+            for threads in [2usize, 4] {
+                let par = CholeskyFactor::factorize_threads(&a, ord, threads).unwrap();
+                let n = serial.n();
+                assert!((0..n).all(|k| par.perm().new_to_old(k) == serial.perm().new_to_old(k)));
+                assert_factors_bit_identical(par.l(), serial.l());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_factor_small_matrix_falls_back_to_serial() {
+        let a = grid_laplacian_shifted(4, 0.5);
+        let serial = CholeskyFactor::factorize(&a, Ordering::MinDegree).unwrap();
+        let par = CholeskyFactor::factorize_threads(&a, Ordering::MinDegree, 8).unwrap();
+        assert_factors_bit_identical(par.l(), serial.l());
+    }
+
+    #[test]
+    fn parallel_factor_reports_serial_first_failure() {
+        // A big SPD grid with one diagonal entry poisoned: every thread
+        // count must report the same (serial-first) failing column.
+        let a = grid_laplacian_shifted(13, 0.3);
+        let n = a.ncols();
+        let poison = |col: usize| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in a.iter() {
+                let v = if r == col && c == col { -1.0 } else { v };
+                coo.push(r, c, v).unwrap();
+            }
+            coo.to_csc()
+        };
+        for bad in [3usize, n / 2, n - 2] {
+            let m = poison(bad);
+            let serial = CholeskyFactor::factorize(&m, Ordering::Natural);
+            let serial_col = match serial {
+                Err(SparseError::NotPositiveDefinite { column }) => column,
+                other => panic!("expected a pivot failure, got {other:?}"),
+            };
+            for threads in [2usize, 4] {
+                match CholeskyFactor::factorize_threads(&m, Ordering::Natural, threads) {
+                    Err(SparseError::NotPositiveDefinite { column }) => {
+                        assert_eq!(column, serial_col, "threads {threads}, poisoned {bad}");
+                    }
+                    other => panic!("expected a pivot failure, got {other:?}"),
+                }
+            }
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Elimination trees and row-subtree traversal (the symbolic backbone of
-//! sparse Cholesky), in the style of CSparse.
+//! sparse Cholesky), in the style of CSparse — plus the level-set
+//! schedule that drives the parallel numeric factorization.
 
 use crate::csc::CscMatrix;
 
@@ -139,6 +140,259 @@ pub fn column_counts(upper: &CscMatrix, parent: &[usize]) -> Vec<usize> {
     counts
 }
 
+/// Bottom-up level sets of an elimination forest: level 0 holds the
+/// leaves, and every node sits one level above its deepest child, so a
+/// node's parent is always in a **strictly later** level.
+///
+/// Columns whose etree nodes share a level have disjoint row subtrees
+/// below the already-finished levels, which makes the level sets the
+/// correctness frame of the parallel numeric factorization: any
+/// execution that finishes all of a node's descendants before the node
+/// itself (subtree tasks, level barriers, …) computes each factor
+/// column from exactly the serial kernel's inputs.
+///
+/// Within each level the columns are listed in increasing order; the
+/// sets partition `0..parent.len()`.
+///
+/// ```
+/// use tracered_sparse::{etree, CooMatrix};
+///
+/// # fn main() -> Result<(), tracered_sparse::SparseError> {
+/// // Tridiagonal: the etree is the path 0 → 1 → 2, one node per level.
+/// let mut coo = CooMatrix::new(3, 3);
+/// for i in 0..3 { coo.push(i, i, 2.0)?; }
+/// coo.push(0, 1, -1.0)?;
+/// coo.push(1, 2, -1.0)?;
+/// let parent = etree::elimination_tree(&coo.to_csc());
+/// assert_eq!(etree::level_sets(&parent), vec![vec![0], vec![1], vec![2]]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn level_sets(parent: &[usize]) -> Vec<Vec<usize>> {
+    let n = parent.len();
+    let mut level = vec![0usize; n];
+    // Parents always have larger indices than their children, so one
+    // ascending pass sees every child before its parent.
+    for j in 0..n {
+        let p = parent[j];
+        if p != NO_PARENT {
+            level[p] = level[p].max(level[j] + 1);
+        }
+    }
+    let height = level.iter().max().map_or(0, |&h| h + 1);
+    let mut sets = vec![Vec::new(); height];
+    for (j, &l) in level.iter().enumerate() {
+        sets[l].push(j);
+    }
+    sets
+}
+
+/// A parallel factorization schedule over an elimination forest:
+/// independent subtree jobs plus a serial tail of top-of-tree columns.
+///
+/// Built by splitting the forest's heaviest subtrees (by a caller-chosen
+/// per-column cost model, e.g. the up-looking flop proxy
+/// [`crate::chol::SymbolicCholesky::column_costs`]) until the frontier
+/// holds enough comparably-sized pieces for `threads` workers. The split
+/// nodes — the dense top levels of the tree, where columns are few and
+/// long — become the `serial_tail`; everything below is grouped into
+/// `jobs`, each a union of complete subtrees balanced by total cost.
+///
+/// Invariants (property-tested in `tests/chol_parallel.rs`):
+///
+/// - `jobs` and `serial_tail` together cover every column exactly once;
+/// - each job is closed under etree descendants: a job column's parent
+///   is either in the same job or in the serial tail, never in another
+///   job — so jobs touch disjoint factor columns and can run
+///   concurrently;
+/// - every serial-tail column's children outside the tail have all their
+///   descendants in jobs, so the tail can run after the jobs finish, in
+///   ascending column order, exactly like the serial kernel.
+///
+/// ```
+/// use tracered_sparse::etree::{elimination_tree, EtreeSchedule};
+/// use tracered_sparse::CooMatrix;
+///
+/// # fn main() -> Result<(), tracered_sparse::SparseError> {
+/// let n = 64;
+/// let mut coo = CooMatrix::new(n, n);
+/// for i in 0..n { coo.push(i, i, 2.0)?; }
+/// for i in 0..n - 1 { coo.push(i, i + 1, -1.0)?; }
+/// let parent = elimination_tree(&coo.to_csc());
+/// let sched = EtreeSchedule::build(&parent, &vec![1; n], 4);
+/// let covered: usize =
+///     sched.jobs().iter().map(Vec::len).sum::<usize>() + sched.serial_tail().len();
+/// assert_eq!(covered, n);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EtreeSchedule {
+    jobs: Vec<Vec<usize>>,
+    serial_tail: Vec<usize>,
+    num_levels: usize,
+}
+
+impl EtreeSchedule {
+    /// Builds a schedule for up to `threads` workers from a parent array
+    /// and a per-column cost model (`cost[j]` ~ work attributable to
+    /// column `j`; any nonnegative proxy works, zero columns are fine).
+    ///
+    /// `threads <= 1` produces the degenerate schedule (no jobs, every
+    /// column in the serial tail), which callers route to the serial
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost.len() != parent.len()`.
+    pub fn build(parent: &[usize], cost: &[u64], threads: usize) -> Self {
+        let n = parent.len();
+        assert_eq!(cost.len(), n, "cost model must cover every column");
+        // Forest height = number of level sets, computed with the same
+        // one-pass child-before-parent recurrence as [`level_sets`]
+        // without materializing the per-level column lists.
+        let mut level = vec![0usize; n];
+        for j in 0..n {
+            let p = parent[j];
+            if p != NO_PARENT {
+                level[p] = level[p].max(level[j] + 1);
+            }
+        }
+        let num_levels = level.iter().max().map_or(0, |&h| h + 1);
+        if threads <= 1 || n == 0 {
+            return EtreeSchedule { jobs: Vec::new(), serial_tail: (0..n).collect(), num_levels };
+        }
+
+        // Subtree costs: children precede parents in index order.
+        let mut subtree_cost: Vec<u64> = cost.to_vec();
+        for j in 0..n {
+            let p = parent[j];
+            if p != NO_PARENT {
+                subtree_cost[p] = subtree_cost[p].saturating_add(subtree_cost[j]);
+            }
+        }
+        // Child lists (same head/next layout as `postorder`).
+        let mut head = vec![NO_PARENT; n];
+        let mut next = vec![NO_PARENT; n];
+        for i in (0..n).rev() {
+            let p = parent[i];
+            if p != NO_PARENT {
+                next[i] = head[p];
+                head[p] = i;
+            }
+        }
+
+        // Split the heaviest frontier subtrees until the pieces are fine
+        // enough: several tasks per worker, none dominating the total.
+        let mut frontier: std::collections::BinaryHeap<(u64, usize)> =
+            (0..n).filter(|&j| parent[j] == NO_PARENT).map(|r| (subtree_cost[r], r)).collect();
+        let total: u64 = frontier.iter().map(|&(c, _)| c).sum();
+        let grain = (total / (threads as u64 * 4)).max(1);
+        let max_tasks = threads * 8;
+        let mut is_serial = vec![false; n];
+        let mut atomic: Vec<usize> = Vec::new(); // heavy but childless roots
+        while atomic.len() + frontier.len() < max_tasks {
+            match frontier.peek() {
+                Some(&(c, _)) if c > grain => {}
+                _ => break,
+            }
+            let (_, r) = frontier.pop().expect("peeked entry");
+            if head[r] == NO_PARENT {
+                // A single expensive column cannot be split further.
+                atomic.push(r);
+                continue;
+            }
+            is_serial[r] = true;
+            let mut child = head[r];
+            while child != NO_PARENT {
+                frontier.push((subtree_cost[child], child));
+                child = next[child];
+            }
+        }
+        let mut roots: Vec<usize> = atomic;
+        roots.extend(frontier.into_iter().map(|(_, r)| r));
+
+        // Label every column with its owning frontier subtree. Parents
+        // have larger indices, so a descending pass sees each node's
+        // parent first and subtree membership flows downward.
+        const SERIAL: usize = usize::MAX;
+        let mut task_of = vec![SERIAL; n];
+        let mut task_id = vec![SERIAL; n];
+        for (t, &r) in roots.iter().enumerate() {
+            task_id[r] = t;
+        }
+        for j in (0..n).rev() {
+            if is_serial[j] {
+                continue;
+            }
+            if task_id[j] != SERIAL {
+                task_of[j] = task_id[j];
+            } else {
+                let p = parent[j];
+                debug_assert!(p != NO_PARENT, "non-root below no frontier subtree");
+                debug_assert!(!is_serial[p], "child of a split node must be a frontier root");
+                task_of[j] = task_of[p];
+            }
+        }
+
+        // Bin the subtree tasks into at most 2·threads jobs, heaviest
+        // first onto the currently lightest bin (LPT), so one O(n)
+        // scratch allocation per job amortizes over many subtrees.
+        let num_tasks = roots.len();
+        let mut task_cost = vec![0u64; num_tasks];
+        for j in 0..n {
+            if task_of[j] != SERIAL {
+                task_cost[task_of[j]] = task_cost[task_of[j]].saturating_add(cost[j]);
+            }
+        }
+        let num_jobs = num_tasks.min(threads * 2).max(1);
+        let mut order: Vec<usize> = (0..num_tasks).collect();
+        order.sort_by(|&a, &b| {
+            task_cost[b].cmp(&task_cost[a]).then_with(|| roots[a].cmp(&roots[b]))
+        });
+        let mut bin_of_task = vec![0usize; num_tasks];
+        let mut bin_load = vec![0u64; num_jobs];
+        for &t in &order {
+            let bin = (0..num_jobs).min_by_key(|&b| (bin_load[b], b)).expect("at least one bin");
+            bin_of_task[t] = bin;
+            bin_load[bin] = bin_load[bin].saturating_add(task_cost[t]);
+        }
+
+        let mut jobs = vec![Vec::new(); num_jobs];
+        let mut serial_tail = Vec::new();
+        for j in 0..n {
+            if task_of[j] == SERIAL {
+                serial_tail.push(j);
+            } else {
+                jobs[bin_of_task[task_of[j]]].push(j);
+            }
+        }
+        jobs.retain(|cols| !cols.is_empty());
+        EtreeSchedule { jobs, serial_tail, num_levels }
+    }
+
+    /// The concurrent jobs: disjoint unions of complete etree subtrees,
+    /// each listed in ascending column order.
+    pub fn jobs(&self) -> &[Vec<usize>] {
+        &self.jobs
+    }
+
+    /// Top-of-tree columns factored serially after the jobs, ascending.
+    pub fn serial_tail(&self) -> &[usize] {
+        &self.serial_tail
+    }
+
+    /// Height of the elimination forest (number of [`level_sets`]).
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// Columns covered by concurrent jobs (the rest are in the tail).
+    pub fn parallel_columns(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +504,64 @@ mod tests {
         let counts = column_counts(&a, &parent);
         // Tridiagonal L: bidiagonal, 2 per column except last.
         assert_eq!(counts.iter().sum::<usize>(), 2 * 8 - 1);
+    }
+
+    #[test]
+    fn level_sets_of_path_and_forest() {
+        // Tridiagonal etree is a path: one node per level.
+        let parent = elimination_tree(&tridiag(5).upper_triangle());
+        let levels = level_sets(&parent);
+        assert_eq!(levels, vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+        // Diagonal matrix: a forest of roots, all at level 0.
+        let parent = elimination_tree(&CscMatrix::identity(4).upper_triangle());
+        assert_eq!(level_sets(&parent), vec![vec![0, 1, 2, 3]]);
+        // Arrow: all leaves at level 0, the apex alone at level 1.
+        let parent = elimination_tree(&arrow(5).upper_triangle());
+        assert_eq!(level_sets(&parent), vec![vec![0, 1, 2, 3], vec![4]]);
+        assert!(level_sets(&[]).is_empty());
+    }
+
+    #[test]
+    fn schedule_partitions_columns_and_respects_subtrees() {
+        let a = tridiag(100).upper_triangle();
+        let parent = elimination_tree(&a);
+        let cost = vec![1u64; 100];
+        for threads in [1usize, 2, 4] {
+            let s = EtreeSchedule::build(&parent, &cost, threads);
+            let mut seen = vec![0usize; 100];
+            for job in s.jobs() {
+                assert!(job.windows(2).all(|w| w[0] < w[1]), "jobs must be ascending");
+                for &j in job {
+                    seen[j] += 1;
+                }
+            }
+            assert!(s.serial_tail().windows(2).all(|w| w[0] < w[1]));
+            for &j in s.serial_tail() {
+                seen[j] += 1;
+            }
+            assert!(seen.iter().all(|&c| c == 1), "every column exactly once");
+            assert_eq!(s.num_levels(), 100);
+        }
+        // Serial schedule degenerates to the tail.
+        let s = EtreeSchedule::build(&parent, &cost, 1);
+        assert!(s.jobs().is_empty());
+        assert_eq!(s.serial_tail().len(), 100);
+        assert_eq!(s.parallel_columns(), 0);
+        // An arrow's etree is a star: the leaves split across several
+        // jobs, the apex lands in the serial tail.
+        let parent = elimination_tree(&arrow(64).upper_triangle());
+        let s = EtreeSchedule::build(&parent, &[1u64; 64], 4);
+        assert!(s.jobs().len() > 1, "star subtrees must split across jobs");
+        assert_eq!(s.serial_tail(), &[63]);
+    }
+
+    #[test]
+    fn schedule_handles_forests_and_empty_input() {
+        let parent = elimination_tree(&CscMatrix::identity(16).upper_triangle());
+        let s = EtreeSchedule::build(&parent, &[1u64; 16], 4);
+        let covered: usize = s.parallel_columns() + s.serial_tail().len();
+        assert_eq!(covered, 16);
+        let s = EtreeSchedule::build(&[], &[], 4);
+        assert!(s.jobs().is_empty() && s.serial_tail().is_empty());
     }
 }

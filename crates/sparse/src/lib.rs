@@ -9,7 +9,10 @@
 //!   [`order`];
 //! - an elimination-tree based symbolic analysis ([`etree`]) and an
 //!   up-looking numeric sparse Cholesky factorization ([`chol`]) in the
-//!   style of CSparse/CHOLMOD;
+//!   style of CSparse/CHOLMOD, with a level-set-scheduled parallel
+//!   numeric path ([`CholeskyFactor::factorize_threads`]) that factors
+//!   independent elimination-tree subtrees concurrently and is
+//!   bit-identical to the serial kernel at every thread count;
 //! - sparse triangular solves and a convenience SDD solver;
 //! - the paper's **Algorithm 1**: a structure-aware sparse approximate
 //!   inverse of the Cholesky factor ([`spai`]);
