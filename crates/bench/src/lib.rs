@@ -5,6 +5,12 @@
 //! synthetic analogs of its test cases. All binaries accept
 //! `--scale <f64>` (default 1.0) to grow or shrink the cases, and
 //! `--case <name>` to restrict to one case.
+//!
+//! None of the binaries enable the resilience layer (pivot boosting,
+//! robust-solve escalation) — it defaults off everywhere — so the
+//! `--check` determinism gates double as its zero-overhead-when-unused
+//! gate: the timed hot paths must stay bit-identical to the
+//! pre-resilience code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

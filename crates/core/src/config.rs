@@ -3,6 +3,7 @@
 use tracered_graph::laplacian::ShiftPolicy;
 use tracered_graph::mst::TreeKind;
 use tracered_sparse::order::Ordering;
+use tracered_sparse::BoostSchedule;
 
 use crate::error::CoreError;
 
@@ -64,6 +65,7 @@ pub struct SparsifyConfig {
     track_trace: bool,
     threads: Option<usize>,
     factor_threads: Option<usize>,
+    pivot_boost: Option<BoostSchedule>,
 }
 
 impl Default for SparsifyConfig {
@@ -111,6 +113,10 @@ impl SparsifyConfig {
             // partitions with `threads` while each partition can still
             // factor in parallel *inside* its job with this knob.
             factor_threads: Some(1),
+            // No boosted refactorization by default: a failing pivot
+            // surfaces as a typed error unless the caller opts into the
+            // resilience ladder.
+            pivot_boost: None,
         }
     }
 
@@ -147,6 +153,24 @@ impl SparsifyConfig {
     /// The configured factorization thread knob (`None` = auto-detect).
     pub fn factor_threads_value(&self) -> Option<usize> {
         self.factor_threads
+    }
+
+    /// Diagonal-boost retry ladder for the per-iteration subgraph
+    /// factorizations: `None` (the default) surfaces a non-positive
+    /// pivot as [`crate::CoreError::Sparse`]; `Some(schedule)` retries
+    /// through [`tracered_sparse::factorize_regularized_threads`] and
+    /// records the applied shift in
+    /// [`crate::IterationStats::applied_shift`]. The boost is applied to
+    /// the factorization *input*, so factor bit-identity across thread
+    /// counts is preserved.
+    pub fn pivot_boost(mut self, schedule: Option<BoostSchedule>) -> Self {
+        self.pivot_boost = schedule;
+        self
+    }
+
+    /// The configured pivot-boost ladder (`None` = fail fast).
+    pub fn pivot_boost_value(&self) -> Option<BoostSchedule> {
+        self.pivot_boost
     }
 
     /// Number of Johnson–Lindenstrauss probes (full-graph solves) for the
@@ -357,11 +381,17 @@ impl SparsifyConfig {
                 what: "factor_threads must be at least 1 (use None for auto-detect)".into(),
             });
         }
+        if let Some(boost) = &self.pivot_boost {
+            boost
+                .validate()
+                .map_err(|e| CoreError::InvalidConfig { what: format!("pivot_boost: {e}") })?;
+        }
         Ok(())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -423,6 +453,17 @@ mod tests {
         assert_eq!(auto.threads_value(), None);
         assert!(auto.validate().is_ok());
         assert_eq!(SparsifyConfig::default().threads(Some(8)).threads_value(), Some(8));
+    }
+
+    #[test]
+    fn pivot_boost_defaults_off_and_validates() {
+        assert!(SparsifyConfig::default().pivot_boost_value().is_none());
+        let cfg = SparsifyConfig::default().pivot_boost(Some(BoostSchedule::default()));
+        assert!(cfg.pivot_boost_value().is_some());
+        assert!(cfg.validate().is_ok());
+        let bad = BoostSchedule { growth: 0.5, ..Default::default() };
+        let err = SparsifyConfig::default().pivot_boost(Some(bad)).validate();
+        assert!(matches!(err, Err(CoreError::InvalidConfig { .. })));
     }
 
     #[test]

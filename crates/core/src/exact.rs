@@ -205,7 +205,7 @@ pub fn greedy_oracle_sparsifier(
             .iter()
             .enumerate()
             .map(|(pos, &eid)| (pos, trace_reduction_with_inverse(g, &lsinv, shifts, eid)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("candidates is non-empty inside the loop");
         selected.push(candidates.swap_remove(best_pos));
     }

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[warn(clippy::unwrap_used)]
 pub mod config;
 pub mod criticality;
 pub mod error;
@@ -49,8 +50,10 @@ pub mod exact;
 pub mod grass;
 pub mod jl;
 pub mod metrics;
+#[warn(clippy::unwrap_used)]
 pub mod partitioned;
 pub mod similarity;
+#[warn(clippy::unwrap_used)]
 pub mod sparsify;
 mod workspace;
 

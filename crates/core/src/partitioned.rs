@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use tracered_graph::laplacian::ShiftPolicy;
 use tracered_graph::lca::tree_resistances_threads;
+use tracered_graph::mst::spanning_tree;
 use tracered_graph::{Graph, GraphError, RootedTree, UnionFind};
 use tracered_partition::{recursive_bisection_threads, EdgeCut, PartitionPiece};
 
@@ -222,6 +223,10 @@ pub struct PartitionStats {
     /// Connected components the local densification ran on (pieces of a
     /// partition disconnected by the cut are sparsified independently).
     pub components: usize,
+    /// Components whose densification loop failed numerically and were
+    /// re-solved exactly (all local edges kept) instead of aborting the
+    /// whole run.
+    pub degraded_components: usize,
     /// The partition's own sparsification report (per-component reports
     /// merged by iteration index).
     pub report: SparsifyReport,
@@ -256,6 +261,9 @@ pub struct PartitionedReport {
     /// Candidates recovered by the policy (excluding connectors; under
     /// the scored policy this may include non-cut separator-zone edges).
     pub boundary_recovered: usize,
+    /// Partitions containing at least one degraded component (see
+    /// [`PartitionStats::degraded_components`]) — 0 on healthy runs.
+    pub degraded_partitions: usize,
     /// Per-partition diagnostics, in part order.
     pub per_partition: Vec<PartitionStats>,
 }
@@ -297,6 +305,7 @@ struct PartResult {
     tree_edges: Vec<usize>,
     recovered: Vec<usize>,
     components: usize,
+    degraded: usize,
     report: SparsifyReport,
 }
 
@@ -392,13 +401,8 @@ pub fn sparsify_partitioned(
     // Connectors: maximum-weight greedy join of the partition forests
     // into one global spanning tree (ties broken by edge id).
     let mut by_weight = subs.boundary_edges.clone();
-    by_weight.sort_by(|&a, &b| {
-        g.edge(b)
-            .weight
-            .partial_cmp(&g.edge(a).weight)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.cmp(&b))
-    });
+    by_weight
+        .sort_by(|&a, &b| g.edge(b).weight.total_cmp(&g.edge(a).weight).then_with(|| a.cmp(&b)));
     let mut is_connector = vec![false; g.num_edges()];
     let mut connectors = Vec::new();
     for &id in &by_weight {
@@ -465,10 +469,7 @@ pub fn sparsify_partitioned(
                 );
                 let mut order: Vec<usize> = (0..candidates.len()).collect();
                 order.sort_unstable_by(|&a, &b| {
-                    scores[b]
-                        .partial_cmp(&scores[a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| candidates[a].cmp(&candidates[b]))
+                    scores[b].total_cmp(&scores[a]).then_with(|| candidates[a].cmp(&candidates[b]))
                 });
                 let picked: Vec<usize> = order[..quota].iter().map(|&ci| candidates[ci]).collect();
                 (picked, candidates.len())
@@ -502,6 +503,7 @@ pub fn sparsify_partitioned(
             threads,
             factor_threads,
             pool_size: tracered_par::global_pool_size(),
+            applied_shift: 0.0,
         });
     }
     let budget: usize =
@@ -511,6 +513,7 @@ pub fn sparsify_partitioned(
         total_time: t_start.elapsed(),
         tree_time: part_results.iter().map(|pr| pr.report.tree_time).sum(),
         budget,
+        degraded_fallbacks: part_results.iter().map(|pr| pr.degraded).sum(),
         iterations,
     };
     let per_partition = subs
@@ -522,6 +525,7 @@ pub fn sparsify_partitioned(
             nodes: piece.graph.num_nodes(),
             internal_edges: piece.graph.num_edges(),
             components: pr.components,
+            degraded_components: pr.degraded,
             report: pr.report.clone(),
         })
         .collect();
@@ -536,6 +540,7 @@ pub fn sparsify_partitioned(
         connector_edges: connectors.len(),
         boundary_candidates: candidates.len(),
         boundary_recovered: boundary_recovered.len(),
+        degraded_partitions: part_results.iter().filter(|pr| pr.degraded > 0).count(),
         per_partition,
     };
     Ok(PartitionedSparsifier {
@@ -567,6 +572,7 @@ fn densify_piece(
     let mut tree_edges = Vec::new();
     let mut recovered = Vec::new();
     let mut reports = Vec::new();
+    let mut degraded = 0usize;
     let whole_piece = components.len() == 1;
     for comp in &components {
         if comp.len() < 2 {
@@ -584,7 +590,6 @@ fn densify_piece(
         };
         let local_cfg =
             cfg.base.clone().shift(ShiftPolicy::PerNode(local_shifts)).threads(Some(1)).seed(seed);
-        let sp = sparsify(local_graph, &local_cfg)?;
         let to_global = |local: usize| -> usize {
             let piece_local = match &extracted {
                 Some((_, _, map)) => map[local],
@@ -592,10 +597,53 @@ fn densify_piece(
             };
             piece.edges[piece_local]
         };
-        let ids = sp.edge_ids();
-        tree_edges.extend(ids[..sp.tree_edge_count()].iter().map(|&e| to_global(e)));
-        recovered.extend(ids[sp.tree_edge_count()..].iter().map(|&e| to_global(e)));
-        reports.push(sp.report().clone());
+        match sparsify(local_graph, &local_cfg) {
+            Ok(sp) => {
+                let ids = sp.edge_ids();
+                tree_edges.extend(ids[..sp.tree_edge_count()].iter().map(|&e| to_global(e)));
+                recovered.extend(ids[sp.tree_edge_count()..].iter().map(|&e| to_global(e)));
+                reports.push(sp.report().clone());
+            }
+            Err(CoreError::Sparse(_)) => {
+                // Numerical failure in this component's densification
+                // loop (e.g. a factorization the shift ladder could not
+                // rescue): degrade to the exact local subgraph — a
+                // spanning tree plus *every* off-tree edge — instead of
+                // killing the whole partitioned run. Denser than
+                // requested, but spectrally exact, and recorded in the
+                // degradation counters.
+                let t_fallback = Instant::now();
+                let st = spanning_tree(local_graph, cfg.base.tree_kind_value())?;
+                let kept = st.off_tree_edges.len();
+                tree_edges.extend(st.tree_edges.iter().map(|&e| to_global(e)));
+                recovered.extend(st.off_tree_edges.iter().map(|&e| to_global(e)));
+                degraded += 1;
+                reports.push(SparsifyReport {
+                    method: cfg.base.method(),
+                    total_time: t_fallback.elapsed(),
+                    tree_time: t_fallback.elapsed(),
+                    budget: kept,
+                    degraded_fallbacks: 1,
+                    // One pseudo-iteration keeps the merged report's
+                    // recovered-edge accounting exact.
+                    iterations: vec![IterationStats {
+                        iteration: 1,
+                        scored: kept,
+                        recovered: kept,
+                        excluded_skips: 0,
+                        factor_time: Duration::ZERO,
+                        score_time: Duration::ZERO,
+                        spai_nnz: 0,
+                        trace_estimate: None,
+                        threads: 1,
+                        factor_threads: 1,
+                        pool_size: tracered_par::global_pool_size(),
+                        applied_shift: 0.0,
+                    }],
+                });
+            }
+            Err(e) => return Err(e),
+        }
     }
     // Local scoring is pinned serial; factorizations inside the job may
     // still fan out through the nested-region pool support.
@@ -606,9 +654,10 @@ fn densify_piece(
         total_time: reports.iter().map(|r| r.total_time).sum(),
         tree_time: reports.iter().map(|r| r.tree_time).sum(),
         budget: reports.iter().map(|r| r.budget).sum(),
+        degraded_fallbacks: degraded,
         iterations: merge_iterations(reports.iter(), threads, factor_threads),
     };
-    Ok(PartResult { tree_edges, recovered, components: components.len(), report: merged })
+    Ok(PartResult { tree_edges, recovered, components: components.len(), degraded, report: merged })
 }
 
 /// Merges per-source iteration stats by iteration index: counts and
@@ -642,6 +691,7 @@ fn merge_iterations<'a>(
                     threads,
                     factor_threads,
                     pool_size: tracered_par::global_pool_size(),
+                    applied_shift: 0.0,
                 });
                 trace_sources.push(0);
             }
@@ -652,6 +702,11 @@ fn merge_iterations<'a>(
             m.factor_time += it.factor_time;
             m.score_time += it.score_time;
             m.spai_nnz += it.spai_nnz;
+            // The merged shift is the worst (largest) boost any source
+            // needed at this iteration index.
+            if it.applied_shift > m.applied_shift {
+                m.applied_shift = it.applied_shift;
+            }
             if let Some(t) = it.trace_estimate {
                 *m.trace_estimate.get_or_insert(0.0) += t;
                 trace_sources[i] += 1;
@@ -667,8 +722,10 @@ fn merge_iterations<'a>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::config::Method;
     use tracered_graph::gen::{grid2d, tri_mesh, WeightProfile};
 
     #[test]
@@ -769,6 +826,47 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
         let psp = sparsify_partitioned(&g, &PartitionedConfig::new(8)).unwrap();
         assert!(psp.partition_report().parts <= 3);
+        assert!(psp.sparsifier().as_graph(&g).is_connected());
+    }
+
+    #[test]
+    fn numerical_failure_degrades_to_exact_partitions() {
+        let g = grid2d(12, 10, WeightProfile::Unit, 2);
+        // A zero shift makes every partition's local Laplacian exactly
+        // singular, and JL-resistance scoring factorizes that full local
+        // Laplacian up front: before the resilience layer this aborted
+        // the whole run with CoreError::Sparse.
+        let cfg = PartitionedConfig::new(4)
+            .base(SparsifyConfig::new(Method::JlResistance).shift(ShiftPolicy::None));
+        let psp = sparsify_partitioned(&g, &cfg).unwrap();
+        let pr = psp.partition_report();
+        assert!(pr.degraded_partitions > 0, "degradation must be recorded");
+        assert!(pr.per_partition.iter().any(|p| p.degraded_components > 0));
+        let sp = psp.sparsifier();
+        assert!(sp.report().degraded_fallbacks > 0);
+        assert!(sp.report().to_string().contains("degraded"));
+        // The degraded result is still a valid connected sparsifier with
+        // exact recovered-edge accounting.
+        assert!(sp.as_graph(&g).is_connected());
+        let recovered: usize = sp.report().iterations.iter().map(|i| i.recovered).sum();
+        assert_eq!(recovered, sp.num_recovered());
+    }
+
+    #[test]
+    fn pivot_boost_avoids_degradation() {
+        use tracered_sparse::BoostSchedule;
+        let g = grid2d(12, 10, WeightProfile::Unit, 2);
+        let cfg = PartitionedConfig::new(4).base(
+            SparsifyConfig::new(Method::JlResistance)
+                .shift(ShiftPolicy::None)
+                .pivot_boost(Some(BoostSchedule::default())),
+        );
+        let psp = sparsify_partitioned(&g, &cfg).unwrap();
+        let pr = psp.partition_report();
+        assert_eq!(pr.degraded_partitions, 0, "the boost ladder should rescue every component");
+        assert_eq!(psp.sparsifier().report().degraded_fallbacks, 0);
+        // ...and the recovery is visible in the merged iteration stats.
+        assert!(psp.sparsifier().report().iterations.iter().any(|it| it.applied_shift > 0.0));
         assert!(psp.sparsifier().as_graph(&g).is_connected());
     }
 

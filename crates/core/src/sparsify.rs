@@ -19,7 +19,10 @@ use tracered_graph::laplacian::{laplacian_with_shifts, subgraph_laplacian};
 use tracered_graph::lca::tree_resistances_threads;
 use tracered_graph::mst::spanning_tree;
 use tracered_graph::{Graph, GraphError, RootedTree};
-use tracered_sparse::{ApproxInverse, CholeskyFactor, CscMatrix, SpaiOptions};
+use tracered_sparse::{
+    factorize_regularized_threads, ApproxInverse, CholeskyFactor, CscMatrix, SpaiOptions,
+    SparseError,
+};
 
 use crate::config::{Method, SparsifyConfig};
 use crate::criticality::{subgraph_phase_scores_threads, tree_phase_scores_threads};
@@ -66,6 +69,12 @@ pub struct IterationStats {
     /// served from, so recorded stats are self-describing on any
     /// machine.
     pub pool_size: usize,
+    /// Largest diagonal boost the resilience ladder applied to a
+    /// factorization this iteration — `0.0` unless
+    /// [`SparsifyConfig::pivot_boost`] is set *and* a retry was needed.
+    /// A nonzero value means the iteration recovered from a pivot
+    /// failure instead of erroring out.
+    pub applied_shift: f64,
 }
 
 /// Summary of a sparsification run.
@@ -79,6 +88,12 @@ pub struct SparsifyReport {
     pub tree_time: Duration,
     /// The edge-recovery budget `α·|V|` (clamped to the off-tree count).
     pub budget: usize,
+    /// Components the partitioned driver re-solved exactly after their
+    /// densification loop hit an unrecoverable factorization failure —
+    /// always 0 for the plain [`sparsify`] driver, which fails fast
+    /// instead. A nonzero count means the result is valid but denser
+    /// than requested in the degraded regions.
+    pub degraded_fallbacks: usize,
     /// Per-iteration statistics.
     pub iterations: Vec<IterationStats>,
 }
@@ -93,6 +108,9 @@ impl std::fmt::Display for SparsifyReport {
             self.tree_time.as_secs_f64(),
             self.total_time.as_secs_f64()
         )?;
+        if self.degraded_fallbacks > 0 {
+            writeln!(f, "  degraded: {} component(s) re-solved exactly", self.degraded_fallbacks)?;
+        }
         for it in &self.iterations {
             writeln!(
                 f,
@@ -194,12 +212,31 @@ impl Sparsifier {
 /// both score against identically-rooted trees.
 pub(crate) fn heaviest_node(g: &Graph) -> usize {
     (0..g.num_nodes())
-        .max_by(|&a, &b| {
-            g.weighted_degree(a)
-                .partial_cmp(&g.weighted_degree(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .max_by(|&a, &b| g.weighted_degree(a).total_cmp(&g.weighted_degree(b)))
         .unwrap_or(0)
+}
+
+/// Factorizes a (subgraph) Laplacian through the configured resilience
+/// path: fail-fast without a [`SparsifyConfig::pivot_boost`] ladder,
+/// boosted retries with one. A boost that fires records its shift in
+/// `stats.applied_shift` (the max over the iteration's factorizations).
+fn factorize_resilient(
+    m: &CscMatrix,
+    cfg: &SparsifyConfig,
+    factor_threads: usize,
+    stats: &mut IterationStats,
+) -> Result<CholeskyFactor, SparseError> {
+    match cfg.pivot_boost_value() {
+        None => CholeskyFactor::factorize_threads(m, cfg.ordering_value(), factor_threads),
+        Some(schedule) => {
+            let rf =
+                factorize_regularized_threads(m, cfg.ordering_value(), factor_threads, &schedule)?;
+            if rf.applied_shift > stats.applied_shift {
+                stats.applied_shift = rf.applied_shift;
+            }
+            Ok(rf.factor)
+        }
+    }
 }
 
 /// Runs graph spectral sparsification (paper Algorithm 2, or one of the
@@ -224,7 +261,10 @@ pub(crate) fn heaviest_node(g: &Graph) -> usize {
 /// Returns [`CoreError::InvalidConfig`] for out-of-range parameters,
 /// [`CoreError::Graph`] for empty or disconnected inputs, and
 /// [`CoreError::Sparse`] if a subgraph factorization fails (e.g. a zero
-/// shift made the Laplacian singular).
+/// shift made the Laplacian singular). Configuring
+/// [`SparsifyConfig::pivot_boost`] retries failed factorizations with a
+/// geometric diagonal-boost ladder instead, recording the applied shift
+/// in [`IterationStats::applied_shift`].
 pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError> {
     cfg.validate()?;
     let n = g.num_nodes();
@@ -275,12 +315,11 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
             threads,
             factor_threads,
             pool_size: tracered_par::global_pool_size(),
+            applied_shift: 0.0,
         };
         if cfg.track_trace_enabled() {
             let ls = subgraph_laplacian(g, &selected, &shifts);
-            if let Ok(factor) =
-                CholeskyFactor::factorize_threads(&ls, cfg.ordering_value(), factor_threads)
-            {
+            if let Ok(factor) = factorize_resilient(&ls, cfg, factor_threads, &mut stats) {
                 stats.trace_estimate = Some(crate::metrics::trace_proxy_hutchinson_threads(
                     &lg,
                     &factor,
@@ -314,11 +353,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 Method::Grass => {
                     let t_factor = Instant::now();
                     let ls = subgraph_laplacian(g, &selected, &shifts);
-                    let factor = CholeskyFactor::factorize_threads(
-                        &ls,
-                        cfg.ordering_value(),
-                        factor_threads,
-                    )?;
+                    let factor = factorize_resilient(&ls, cfg, factor_threads, &mut stats)?;
                     stats.factor_time = t_factor.elapsed();
                     grass_scores_threads(
                         g,
@@ -336,11 +371,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                     // which costs a full-graph factorization — exactly the
                     // expense the paper's introduction calls out.
                     let t_factor = Instant::now();
-                    let full_factor = CholeskyFactor::factorize_threads(
-                        &lg,
-                        cfg.ordering_value(),
-                        factor_threads,
-                    )?;
+                    let full_factor = factorize_resilient(&lg, cfg, factor_threads, &mut stats)?;
                     stats.factor_time = t_factor.elapsed();
                     crate::jl::jl_scores(
                         g,
@@ -358,8 +389,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
             let subgraph_factor = |stats: &mut IterationStats| {
                 let t_factor = Instant::now();
                 let ls = subgraph_laplacian(g, &selected, &shifts);
-                let factor =
-                    CholeskyFactor::factorize_threads(&ls, cfg.ordering_value(), factor_threads);
+                let factor = factorize_resilient(&ls, cfg, factor_threads, stats);
                 stats.factor_time = t_factor.elapsed();
                 factor
             };
@@ -410,11 +440,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 Method::JlResistance => {
                     // Single-pass method: keep the full-graph ranking.
                     let t_factor = Instant::now();
-                    let full_factor = CholeskyFactor::factorize_threads(
-                        &lg,
-                        cfg.ordering_value(),
-                        factor_threads,
-                    )?;
+                    let full_factor = factorize_resilient(&lg, cfg, factor_threads, &mut stats)?;
                     stats.factor_time = t_factor.elapsed();
                     crate::jl::jl_scores(
                         g,
@@ -431,10 +457,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
         // --- Rank and recover the iteration quota. ---
         let mut order: Vec<usize> = (0..candidates.len()).collect();
         order.sort_unstable_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| candidates[a].cmp(&candidates[b]))
+            scores[b].total_cmp(&scores[a]).then_with(|| candidates[a].cmp(&candidates[b]))
         });
         let mut picked_flags = vec![false; candidates.len()];
         let mut picked = 0usize;
@@ -488,12 +511,14 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
         total_time: t_start.elapsed(),
         tree_time,
         budget,
+        degraded_fallbacks: 0,
         iterations,
     };
     Ok(Sparsifier { edge_ids: selected, tree_edge_count, shifts, report })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::relative_condition_number;
@@ -661,6 +686,38 @@ mod tests {
         let a = sparsify(&g, &SparsifyConfig::default()).unwrap();
         let b = sparsify(&g, &SparsifyConfig::default()).unwrap();
         assert_eq!(a.edge_ids(), b.edge_ids());
+    }
+
+    #[test]
+    fn pivot_boost_recovers_singular_full_laplacian_factorization() {
+        use tracered_graph::laplacian::ShiftPolicy;
+        use tracered_sparse::BoostSchedule;
+        let g = grid2d(10, 10, WeightProfile::Unit, 3);
+        // An unshifted Laplacian is exactly singular, and JL-resistance
+        // scoring factorizes the full graph Laplacian up front: without
+        // the resilience ladder the run fails fast...
+        let cfg = SparsifyConfig::new(Method::JlResistance).shift(ShiftPolicy::None);
+        assert!(matches!(sparsify(&g, &cfg), Err(CoreError::Sparse(_))));
+        // ...and recovers with it, reporting the applied shift.
+        let boosted = SparsifyConfig::new(Method::JlResistance)
+            .shift(ShiftPolicy::None)
+            .pivot_boost(Some(BoostSchedule::default()));
+        let sp = sparsify(&g, &boosted).unwrap();
+        assert!(
+            sp.report().iterations.iter().any(|it| it.applied_shift > 0.0),
+            "recovery must be visible in IterationStats"
+        );
+        assert!(sp.as_graph(&g).is_connected());
+    }
+
+    #[test]
+    fn applied_shift_is_zero_on_healthy_runs() {
+        use tracered_sparse::BoostSchedule;
+        let g = grid2d(10, 10, WeightProfile::Unit, 3);
+        let sp =
+            sparsify(&g, &SparsifyConfig::default().pivot_boost(Some(BoostSchedule::default())))
+                .unwrap();
+        assert!(sp.report().iterations.iter().all(|it| it.applied_shift == 0.0));
     }
 
     #[test]

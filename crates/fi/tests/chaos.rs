@@ -1,0 +1,236 @@
+//! The chaos suite: every fault a [`FaultPlan`] can inject, driven
+//! through the public APIs of the stack. The contract under test is the
+//! resilience layer's promise — **a typed error or a recorded recovery,
+//! never a panic, never a silently wrong answer**.
+//!
+//! Runs are deterministic: all faults derive from fixed seeds, so any
+//! failure replays exactly. CI exercises this suite under
+//! `TRACERED_THREADS=1` and `TRACERED_THREADS=4`.
+
+use tracered_core::{sparsify, sparsify_partitioned, Method, PartitionedConfig, SparsifyConfig};
+use tracered_fi::FaultPlan;
+use tracered_graph::gen::{grid2d, WeightProfile};
+use tracered_graph::laplacian::{laplacian, ShiftPolicy};
+use tracered_powergrid::synth::{synthesize, SynthConfig};
+use tracered_powergrid::transient::{
+    simulate_pcg_batch, simulate_pcg_batch_outcomes, ScenarioFailureKind, SourceScenario,
+    TransientConfig,
+};
+use tracered_solver::pcg::{pcg, PcgOptions};
+use tracered_solver::precond::CholPreconditioner;
+use tracered_solver::{robust_solve, RobustSolveConfig, TerminationReason};
+use tracered_sparse::order::Ordering;
+use tracered_sparse::{
+    factorize_regularized, scan_non_finite, BoostSchedule, CholeskyFactor, CscMatrix, SparseError,
+};
+
+/// A well-conditioned SPD test matrix: shifted 2-D grid Laplacian.
+fn healthy_matrix(side: usize) -> CscMatrix {
+    let g = grid2d(side, side, WeightProfile::Unit, 5);
+    laplacian(&g, ShiftPolicy::Uniform(0.5)).expect("valid shift")
+}
+
+#[test]
+fn non_finite_matrix_yields_typed_error_not_panic() {
+    let a = healthy_matrix(8);
+    let mut plan = FaultPlan::new(101);
+    let (bad, faults) = plan.corrupt_matrix_entries(&a, 4);
+    assert!(!faults.is_empty());
+    // The cheap scan names a corrupted coordinate...
+    let err = scan_non_finite(&bad).expect_err("corruption must be detected");
+    match err {
+        SparseError::NonFiniteValue { row, col } => {
+            assert!(!bad.get(row, col).is_finite());
+        }
+        other => panic!("expected NonFiniteValue, got {other:?}"),
+    }
+    // ...and every resilient entry point refuses the matrix up front.
+    assert!(matches!(
+        factorize_regularized(&bad, Ordering::MinDegree, &BoostSchedule::default()),
+        Err(SparseError::NonFiniteValue { .. })
+    ));
+    let b = vec![1.0; bad.ncols()];
+    assert!(matches!(
+        robust_solve(&bad, &b, &a, &RobustSolveConfig::default()),
+        Err(SparseError::NonFiniteValue { .. })
+    ));
+}
+
+#[test]
+fn poisoned_pivot_recovers_through_the_boost_ladder() {
+    let a = healthy_matrix(8);
+    let (bad, col) = FaultPlan::new(202).poison_pivot(&a);
+    // The plain factorization breaks down...
+    assert!(matches!(
+        CholeskyFactor::factorize(&bad, Ordering::MinDegree),
+        Err(SparseError::NotPositiveDefinite { .. })
+    ));
+    // ...the regularized one recovers and reports the shift it needed.
+    let rf = factorize_regularized(&bad, Ordering::MinDegree, &BoostSchedule::default())
+        .expect("ladder must rescue a finite indefinite matrix");
+    assert!(rf.applied_shift > 0.0, "recovery must report its shift");
+    assert!(rf.attempts > 1);
+    // The factor solves the boosted system accurately.
+    let boosted = bad.add_diagonal(&vec![rf.applied_shift; bad.ncols()]).expect("square matrix");
+    let b = vec![1.0; bad.ncols()];
+    let x = rf.factor.solve(&b);
+    assert!(boosted.residual_inf_norm(&x, &b) < 1e-8, "poisoned column {col}");
+}
+
+#[test]
+fn robust_solve_with_poisoned_preconditioner_matches_fault_free_accuracy() {
+    let a = healthy_matrix(8);
+    let b: Vec<f64> = (0..a.ncols()).map(|i| (i % 7) as f64 - 3.0).collect();
+    let cfg = RobustSolveConfig::default();
+    let clean = robust_solve(&a, &b, &a, &cfg).expect("fault-free solve");
+    assert_eq!(clean.reason, TerminationReason::Converged);
+    // Poison the preconditioner matrix: the chain must still converge,
+    // with the recovery visible in the attempt log.
+    let (bad_pre, _) = FaultPlan::new(303).poison_pivot(&a);
+    let sol = robust_solve(&a, &b, &bad_pre, &cfg).expect("escalation must absorb the fault");
+    assert_eq!(sol.reason, TerminationReason::Converged);
+    assert!(
+        sol.attempts.iter().any(|at| at.applied_shift > 0.0),
+        "the boost that rescued the preconditioner must be recorded"
+    );
+    // Recovered accuracy within an order of magnitude of fault-free.
+    assert!(sol.rel_residual <= clean.rel_residual.max(cfg.pcg.rel_tolerance) * 10.0);
+}
+
+#[test]
+fn nan_rhs_is_classified_not_propagated() {
+    let a = healthy_matrix(6);
+    let b = vec![1.0; a.ncols()];
+    let (bad_b, idx) = FaultPlan::new(404).nan_rhs_entry(&b);
+    assert!(bad_b[idx].is_nan());
+    // The raw iterative kernel classifies the breakdown...
+    let pre = CholPreconditioner::from_matrix(&a).expect("SPD matrix");
+    let sol = pcg(&a, &bad_b, &pre, &PcgOptions::default());
+    assert!(!sol.converged);
+    assert_eq!(sol.reason, TerminationReason::NonFinite);
+    // ...and the robust entry point rejects the input with a typed error
+    // naming the bad entry.
+    match robust_solve(&a, &bad_b, &a, &RobustSolveConfig::default()) {
+        Err(SparseError::InvalidValue { what }) => {
+            assert!(what.contains(&format!("index {idx}")), "got: {what}");
+        }
+        other => panic!("expected InvalidValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_pool_jobs_do_not_poison_the_pool() {
+    let mask = FaultPlan::new(505).panic_jobs(12);
+    let jobs: Vec<(usize, bool)> = mask.iter().copied().enumerate().collect();
+    let result = std::panic::catch_unwind(|| {
+        tracered_par::par_jobs(jobs, 4, |(i, poisoned)| {
+            if poisoned {
+                panic!("injected fault in job {i}");
+            }
+        });
+    });
+    assert!(result.is_err(), "the injected panic must propagate to the caller");
+    // The pool survives: later regions run to completion with correct
+    // results.
+    let mut outputs = vec![0usize; 64];
+    let jobs: Vec<(usize, &mut usize)> = outputs.iter_mut().enumerate().collect();
+    tracered_par::par_jobs(jobs, 4, |(i, out)| *out = i * i);
+    for (i, &o) in outputs.iter().enumerate() {
+        assert_eq!(o, i * i);
+    }
+}
+
+#[test]
+fn sparsifier_boost_recovery_is_visible_in_iteration_stats() {
+    // Acceptance criterion: a forced-indefinite factorization inside the
+    // sparsifier recovers via the configured ladder and surfaces the
+    // applied shift in IterationStats.
+    let g = grid2d(10, 10, WeightProfile::Unit, 3);
+    let fragile = SparsifyConfig::new(Method::JlResistance).shift(ShiftPolicy::None);
+    assert!(sparsify(&g, &fragile).is_err(), "the fault lever must fire");
+    let boosted = fragile.clone().pivot_boost(Some(BoostSchedule::default()));
+    let sp = sparsify(&g, &boosted).expect("boost ladder must rescue the run");
+    assert!(sp.report().iterations.iter().any(|it| it.applied_shift > 0.0));
+    assert!(sp.as_graph(&g).is_connected());
+}
+
+#[test]
+fn partitioned_runs_degrade_gracefully_instead_of_aborting() {
+    let g = grid2d(12, 10, WeightProfile::Unit, 2);
+    let cfg = PartitionedConfig::new(4)
+        .base(SparsifyConfig::new(Method::JlResistance).shift(ShiftPolicy::None));
+    let psp = sparsify_partitioned(&g, &cfg).expect("degraded run must still complete");
+    assert!(psp.partition_report().degraded_partitions > 0);
+    assert!(psp.sparsifier().report().degraded_fallbacks > 0);
+    assert!(psp.sparsifier().as_graph(&g).is_connected());
+}
+
+#[test]
+fn transient_batch_quarantines_corrupted_scenarios() {
+    let pg = synthesize(&SynthConfig { mesh: 8, source_fraction: 0.2, ..Default::default() });
+    let cfg = TransientConfig { t_end: 5e-10, pcg_tol: 1e-8, ..Default::default() };
+    let pre =
+        CholPreconditioner::from_matrix(&pg.conductance_matrix()).expect("grounded grid is SPD");
+    let m = pg.sources().len();
+    let mut scenarios = vec![
+        SourceScenario::nominal(),
+        SourceScenario::uniform(0.5, m),
+        SourceScenario::uniform(1.5, m),
+    ];
+    // Corrupt the middle scenario's scales deterministically.
+    let scales = vec![0.5; m];
+    let (bad, _) = FaultPlan::new(606).corrupt_scales(&scales);
+    scenarios[1] = SourceScenario::per_source(bad);
+
+    let outcomes = simulate_pcg_batch_outcomes(&pg, &cfg, &pre, &[0], &scenarios)
+        .expect("shared machinery is healthy");
+    let fail = outcomes[1].failure().expect("corrupted scenario must fail");
+    assert_eq!(fail.scenario, 1);
+    assert!(matches!(fail.kind, ScenarioFailureKind::InvalidScale { .. }));
+    // Survivors are bit-identical to a batch that never saw the fault.
+    let clean =
+        simulate_pcg_batch(&pg, &cfg, &pre, &[0], &[scenarios[0].clone(), scenarios[2].clone()])
+            .expect("clean batch");
+    for (out, reference) in [&outcomes[0], &outcomes[2]].iter().zip(clean.iter()) {
+        let r = out.result().expect("healthy scenario must complete");
+        assert_eq!(r.times, reference.times);
+        for (ta, tb) in r.probes.iter().zip(reference.probes.iter()) {
+            assert_eq!(ta, tb, "survivor waveforms must match the fault-free run");
+        }
+    }
+}
+
+#[test]
+fn fault_campaign_sweep_never_panics() {
+    // A broad deterministic sweep: many seeds, every injector, every
+    // resilient entry point. Success is the absence of panics plus a
+    // classified outcome for every run.
+    let a = healthy_matrix(6);
+    let b = vec![1.0; a.ncols()];
+    for seed in 0..12u64 {
+        let mut plan = FaultPlan::new(seed);
+        let (bad, _) = plan.corrupt_matrix_entries(&a, 1 + (seed as usize % 3));
+        match robust_solve(&bad, &b, &a, &RobustSolveConfig::default()) {
+            Ok(sol) => assert!(sol.rel_residual.is_finite()),
+            Err(SparseError::NonFiniteValue { .. }) => {}
+            Err(other) => panic!("seed {seed}: unexpected error {other:?}"),
+        }
+        // A poisoned PRECONDITIONER on a healthy system must be absorbed
+        // outright...
+        let (bad_pre, _) = plan.poison_pivot(&a);
+        let sol = robust_solve(&a, &b, &bad_pre, &RobustSolveConfig::default())
+            .expect("healthy system with a broken preconditioner must solve");
+        assert_eq!(sol.reason, TerminationReason::Converged, "seed {seed}");
+        // ...while a genuinely indefinite SYSTEM ends in a classified,
+        // finite-diagnostics outcome — never a panic, never a fake
+        // convergence claim.
+        let sol = robust_solve(&bad_pre, &b, &bad_pre, &RobustSolveConfig::default())
+            .expect("classified outcome, not an abort");
+        assert!(sol.rel_residual.is_finite(), "seed {seed}");
+        assert!(!sol.attempts.is_empty());
+        if sol.reason == TerminationReason::Converged {
+            let tol = RobustSolveConfig::default().pcg.rel_tolerance;
+            assert!(sol.rel_residual <= tol * 10.0, "seed {seed}: fake convergence");
+        }
+    }
+}

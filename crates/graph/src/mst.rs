@@ -58,13 +58,12 @@ pub fn spanning_tree(g: &Graph, kind: TreeKind) -> Result<SpanningTree, GraphErr
     let mut order: Vec<usize> = (0..g.num_edges()).collect();
     // Sort by descending score; ties broken by heavier raw weight, then id
     // for determinism.
+    // total_cmp: scores from a degraded upstream solve may contain NaN; a
+    // non-total comparator is a reachable sort panic, total_cmp is not.
     order.sort_unstable_by(|&a, &b| {
         scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| {
-                g.edge(b).weight.partial_cmp(&g.edge(a).weight).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .total_cmp(&scores[a])
+            .then_with(|| g.edge(b).weight.total_cmp(&g.edge(a).weight))
             .then_with(|| a.cmp(&b))
     });
     let mut uf = UnionFind::new(g.num_nodes());

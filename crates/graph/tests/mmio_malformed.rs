@@ -1,0 +1,161 @@
+//! Malformed Matrix Market corpus: every broken input must produce a
+//! typed [`GraphError`] naming the offending line — never a panic and
+//! never a silently wrong graph.
+
+use tracered_graph::mmio::read_graph;
+use tracered_graph::GraphError;
+
+/// Runs the parser on an in-memory file and returns the error.
+fn parse_err(content: &str) -> GraphError {
+    read_graph(content.as_bytes()).expect_err("malformed input must be rejected")
+}
+
+fn assert_parse_error(content: &str, expect_line: usize, expect_substr: &str) {
+    match parse_err(content) {
+        GraphError::ParseError { line, what } => {
+            assert_eq!(line, expect_line, "wrong line for {what:?}");
+            assert!(
+                what.contains(expect_substr),
+                "error {what:?} should mention {expect_substr:?}"
+            );
+        }
+        other => panic!("expected ParseError, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_file() {
+    assert_parse_error("", 1, "empty file");
+}
+
+#[test]
+fn truncated_header() {
+    assert_parse_error("%%Matrix", 1, "missing %%MatrixMarket header");
+    assert_parse_error("garbage first line\n1 1 0\n", 1, "missing %%MatrixMarket header");
+}
+
+#[test]
+fn header_without_body() {
+    assert_parse_error("%%MatrixMarket matrix coordinate real symmetric\n", 2, "missing size line");
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n% only comments\n%\n",
+        4,
+        "missing size line",
+    );
+}
+
+#[test]
+fn unsupported_formats() {
+    assert_parse_error("%%MatrixMarket matrix array real general\n", 1, "coordinate");
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate complex hermitian\n",
+        1,
+        "complex matrices are not supported",
+    );
+}
+
+#[test]
+fn malformed_size_line() {
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n3 3\n",
+        2,
+        "size line must have 3 fields",
+    );
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n3 x 4\n",
+        2,
+        "invalid integer 'x'",
+    );
+}
+
+#[test]
+fn nan_and_inf_values_are_rejected() {
+    // `"nan".parse::<f64>()` succeeds, so the finite check must catch it.
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 nan\n",
+        3,
+        "non-finite value",
+    );
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 inf\n",
+        3,
+        "non-finite value",
+    );
+}
+
+#[test]
+fn out_of_bounds_indices() {
+    // One-based indexing: 0 is out of bounds, as is anything > n.
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n0 1 1.0\n",
+        3,
+        "out of bounds",
+    );
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 3 1.0\n",
+        3,
+        "out of bounds",
+    );
+}
+
+#[test]
+fn unparsable_indices_and_values() {
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\nx 1 1.0\n",
+        3,
+        "invalid row index",
+    );
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 y 1.0\n",
+        3,
+        "invalid column index",
+    );
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 abc\n",
+        3,
+        "invalid value",
+    );
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2\n",
+        3,
+        "entry line must have 3 fields",
+    );
+}
+
+#[test]
+fn entry_count_mismatch() {
+    // Truncated body: fewer entries than the size line promised.
+    assert_parse_error(
+        "%%MatrixMarket matrix coordinate real symmetric\n3 3 4\n1 2 1.0\n2 3 1.0\n",
+        2,
+        "expected 4 entries, found 2",
+    );
+}
+
+#[test]
+fn negative_off_diagonals_are_valid_sdd_input() {
+    // SDD convention: off-diagonal a_ij = -w_ij. The magnitude becomes
+    // the edge weight — this is the normal encoding, not an error.
+    let mm = read_graph(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 1.5\n2 2 1.0\n2 1 -1.0\n"
+            .as_bytes(),
+    )
+    .expect("valid SDD matrix");
+    assert_eq!(mm.graph.num_edges(), 1);
+    assert_eq!(mm.graph.edge(0).weight, 1.0);
+    // Diagonal slack = 1.5 − 1.0 on node 0.
+    assert!((mm.diag_slack[0] - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn disconnected_or_empty_graphs_fail_downstream_with_typed_errors() {
+    // A parseable file whose graph is edgeless: the parser accepts it,
+    // and the Laplacian path must reject it with a typed error rather
+    // than panic when a pipeline consumes it.
+    let mm = read_graph(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n2 2 1.0\n".as_bytes(),
+    )
+    .expect("diagonal-only matrix parses");
+    assert_eq!(mm.graph.num_edges(), 0);
+    assert!(!mm.graph.is_connected());
+}

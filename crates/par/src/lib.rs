@@ -66,7 +66,10 @@
 //! A panic in a job body cancels its region (remaining jobs are
 //! discarded), propagates to the region's caller once the region is
 //! quiescent, and leaves the pool healthy — workers survive and later
-//! regions run normally.
+//! regions run normally. The `tracered-fi` chaos suite exercises this
+//! contract under deterministic fault injection: seed-chosen jobs panic
+//! mid-region, the caller catches the propagated panic, and a full
+//! follow-up region must complete on the same pool.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]

@@ -28,6 +28,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 use tracered_graph::laplacian::laplacian_with_shifts;
 use tracered_graph::{Edge, Graph};
@@ -70,8 +71,9 @@ fn shifted_laplacian(g: &Graph) -> (CscMatrix, f64) {
 fn split(g: &Graph, fiedler: Vec<f64>, inner_iterations: usize) -> Bisection {
     let n = g.num_nodes();
     let mut order: Vec<usize> = (0..n).collect();
-    order
-        .sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp: a NaN entry (solver breakdown upstream) must not feed the
+    // sort an inconsistent comparator — it sorts last instead.
+    order.sort_by(|&a, &b| fiedler[a].total_cmp(&fiedler[b]));
     let mut side = vec![false; n];
     for &i in order.iter().skip(n / 2) {
         side[i] = true;
@@ -394,9 +396,7 @@ fn partition_rec(
         let solver = DirectSolver::new_threads(&l, factor_threads)?;
         let res = fiedler_vector(sub.num_nodes(), |b| (solver.solve(b), 0), steps, seed);
         let mut order: Vec<usize> = (0..sub.num_nodes()).collect();
-        order.sort_by(|&a, &b| {
-            res.vector[a].partial_cmp(&res.vector[b]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| res.vector[a].total_cmp(&res.vector[b]));
         let left: Vec<usize> = order[..left_target].iter().map(|&i| map[i]).collect();
         let right: Vec<usize> = order[left_target..].iter().map(|&i| map[i]).collect();
         (left, right)
@@ -455,6 +455,7 @@ pub fn relative_error(a: &[bool], b: &[bool]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tracered_core::{sparsify, SparsifyConfig};

@@ -41,8 +41,14 @@
 
 pub mod netlist;
 pub mod synth;
+#[warn(clippy::unwrap_used)]
 pub mod transient;
+#[warn(clippy::unwrap_used)]
 pub mod waveform;
 
 pub use netlist::{CurrentSource, PowerGrid};
+pub use transient::{
+    simulate_direct_batch_outcomes, simulate_pcg_batch_outcomes, ScenarioFailure,
+    ScenarioFailureKind, ScenarioOutcome,
+};
 pub use waveform::PulseWaveform;

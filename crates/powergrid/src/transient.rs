@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use tracered_solver::block::block_pcg_with_guess;
 use tracered_solver::pcg::PcgOptions;
 use tracered_solver::precond::{CholPreconditioner, Preconditioner};
-use tracered_solver::DirectSolver;
+use tracered_solver::{DirectSolver, TerminationReason};
 use tracered_sparse::{MultiVec, SparseError};
 
 use crate::netlist::PowerGrid;
@@ -162,8 +162,9 @@ impl TransientResult {
         if t <= times[0] {
             return trace[0];
         }
-        if t >= *times.last().unwrap() {
-            return *trace.last().unwrap();
+        let t_last = *times.last().expect("a transient result has at least the initial time");
+        if t >= t_last {
+            return *trace.last().expect("probe traces track the time grid");
         }
         let k = times.partition_point(|&x| x <= t) - 1;
         let (t0, t1) = (times[k], times[k + 1]);
@@ -180,7 +181,10 @@ impl TransientResult {
     /// Panics if `idx` is out of bounds for either run or `samples == 0`.
     pub fn max_probe_difference(&self, other: &TransientResult, idx: usize, samples: usize) -> f64 {
         assert!(samples > 0, "at least one sample is required");
-        let t_end = self.times.last().unwrap().min(*other.times.last().unwrap());
+        let t_end =
+            self.times.last().expect("a transient result has at least the initial time").min(
+                *other.times.last().expect("a transient result has at least the initial time"),
+            );
         (0..=samples)
             .map(|k| {
                 let t = t_end * k as f64 / samples as f64;
@@ -669,6 +673,402 @@ pub fn simulate_pcg_batch(
         .collect())
 }
 
+/// Why one scenario of a batch transient run was abandoned while the rest
+/// of the ensemble kept integrating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioFailureKind {
+    /// A source-scale multiplier was non-finite.
+    InvalidScale {
+        /// Index of the offending multiplier within the scale vector.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The scale vector length disagrees with the grid's source count.
+    ScaleLength {
+        /// Number of sources in the grid.
+        expected: usize,
+        /// Length of the scenario's scale vector.
+        found: usize,
+    },
+    /// The blocked PCG solve classified this scenario's column as a
+    /// breakdown (see [`TerminationReason::is_breakdown`]).
+    SolverBreakdown {
+        /// The classified termination reason.
+        reason: TerminationReason,
+    },
+    /// The advanced voltage state contained a non-finite value.
+    NonFiniteState,
+}
+
+impl std::fmt::Display for ScenarioFailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioFailureKind::InvalidScale { index, value } => {
+                write!(f, "non-finite source scale {value} at index {index}")
+            }
+            ScenarioFailureKind::ScaleLength { expected, found } => {
+                write!(f, "scale vector has {found} entries, grid has {expected} sources")
+            }
+            ScenarioFailureKind::SolverBreakdown { reason } => {
+                write!(f, "solver breakdown: {reason}")
+            }
+            ScenarioFailureKind::NonFiniteState => write!(f, "non-finite voltage state"),
+        }
+    }
+}
+
+/// A recorded per-scenario failure: which ensemble member, at which time
+/// step (`0` = input validation / initial condition), and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioFailure {
+    /// Index of the scenario within the submitted ensemble.
+    pub scenario: usize,
+    /// Time-step index at which the scenario was abandoned (`0` before
+    /// the first step: scale validation or a bad DC operating point).
+    pub step: usize,
+    /// What went wrong.
+    pub kind: ScenarioFailureKind,
+}
+
+impl std::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario {} failed at step {}: {}", self.scenario, self.step, self.kind)
+    }
+}
+
+/// Per-scenario outcome of a fault-tolerant batch transient run.
+#[derive(Debug, Clone)]
+pub enum ScenarioOutcome {
+    /// The scenario integrated to `t_end`; its full result.
+    Completed(TransientResult),
+    /// The scenario was abandoned; the rest of the batch continued.
+    Failed(ScenarioFailure),
+}
+
+impl ScenarioOutcome {
+    /// The completed result, if the scenario survived.
+    pub fn result(&self) -> Option<&TransientResult> {
+        match self {
+            ScenarioOutcome::Completed(r) => Some(r),
+            ScenarioOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The recorded failure, if the scenario was abandoned.
+    pub fn failure(&self) -> Option<&ScenarioFailure> {
+        match self {
+            ScenarioOutcome::Completed(_) => None,
+            ScenarioOutcome::Failed(fail) => Some(fail),
+        }
+    }
+
+    /// Whether the scenario completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ScenarioOutcome::Completed(_))
+    }
+}
+
+/// Checks one scenario's scale vector before any arithmetic runs.
+fn validate_scenario(sc: &SourceScenario, num_sources: usize) -> Option<ScenarioFailureKind> {
+    let scales = sc.scales()?;
+    if scales.len() != num_sources {
+        return Some(ScenarioFailureKind::ScaleLength {
+            expected: num_sources,
+            found: scales.len(),
+        });
+    }
+    scales
+        .iter()
+        .position(|s| !s.is_finite())
+        .map(|index| ScenarioFailureKind::InvalidScale { index, value: scales[index] })
+}
+
+/// Copies the selected columns of `src` into a fresh, narrower block.
+fn keep_columns(src: &MultiVec, keep: &[usize]) -> MultiVec {
+    let mut out = MultiVec::zeros(src.nrows(), keep.len());
+    for (dst, &j) in keep.iter().enumerate() {
+        out.col_mut(dst).copy_from_slice(src.col(j));
+    }
+    out
+}
+
+/// Fault-tolerant variant of [`simulate_pcg_batch`]: instead of aborting
+/// the whole ensemble on the first bad scenario, returns one
+/// [`ScenarioOutcome`] per input, in order.
+///
+/// A scenario is abandoned (and the batch narrowed) when
+///
+/// - its scale vector is malformed (wrong length or non-finite entries —
+///   caught before any arithmetic runs, `step == 0`),
+/// - its DC operating point or advanced voltage state goes non-finite, or
+/// - the blocked PCG classifies its column as a breakdown
+///   ([`TerminationReason::is_breakdown`]; plain `MaxIterations` is *not*
+///   a breakdown, matching [`simulate_pcg_batch`]'s tolerance of
+///   unconverged steps).
+///
+/// The block-PCG column recurrences are independent (see
+/// [`tracered_solver::block`]), so dropping a failed column leaves every
+/// surviving scenario's arithmetic — and therefore its waveforms —
+/// bit-identical to a run that never contained the bad scenario.
+/// `solve_time` in surviving results is the batch stepping time amortized
+/// over the survivors.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] only for *shared* failures
+/// that doom every scenario alike (the DC factorization of `G`).
+///
+/// # Panics
+///
+/// Panics if a probe node is out of bounds or `scenarios` is empty.
+pub fn simulate_pcg_batch_outcomes(
+    pg: &PowerGrid,
+    cfg: &TransientConfig,
+    preconditioner: &CholPreconditioner,
+    probe_nodes: &[usize],
+    scenarios: &[SourceScenario],
+) -> Result<Vec<ScenarioOutcome>, SparseError> {
+    let n = pg.num_nodes();
+    assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
+    assert!(!scenarios.is_empty(), "at least one scenario is required");
+    let num_sources = pg.sources().len();
+
+    let mut failures: Vec<Option<ScenarioFailure>> = vec![None; scenarios.len()];
+    // `active[i]` is the original scenario index behind batch column `i`.
+    let mut active: Vec<usize> = Vec::new();
+    for (s, sc) in scenarios.iter().enumerate() {
+        match validate_scenario(sc, num_sources) {
+            Some(kind) => failures[s] = Some(ScenarioFailure { scenario: s, step: 0, kind }),
+            None => active.push(s),
+        }
+    }
+
+    let waveforms: Vec<_> = pg.sources().iter().map(|s| s.waveform).collect();
+    let grid = merged_time_grid(&waveforms, cfg.t_end, cfg.max_step);
+    let mut times = vec![grid[0]];
+    let mut v = MultiVec::zeros(n, active.len());
+    let mut probes: Vec<Vec<Vec<f64>>> = Vec::new();
+    let mut total_iters: Vec<usize> = vec![0; active.len()];
+
+    if !active.is_empty() {
+        let active_scenarios: Vec<SourceScenario> =
+            active.iter().map(|&s| scenarios[s].clone()).collect();
+        v = dc_points_batch_threads(pg, &active_scenarios, cfg.factor_threads.max(1))?;
+        // A bad DC column (from a pathological but finite scale) fails
+        // just that scenario.
+        let keep: Vec<usize> = (0..active.len())
+            .filter(|&i| {
+                let ok = v.col(i).iter().all(|x| x.is_finite());
+                if !ok {
+                    failures[active[i]] = Some(ScenarioFailure {
+                        scenario: active[i],
+                        step: 0,
+                        kind: ScenarioFailureKind::NonFiniteState,
+                    });
+                }
+                ok
+            })
+            .collect();
+        if keep.len() != active.len() {
+            v = keep_columns(&v, &keep);
+            active = keep.iter().map(|&i| active[i]).collect();
+            total_iters.truncate(active.len());
+        }
+        probes = active
+            .iter()
+            .enumerate()
+            .map(|(i, _)| probe_nodes.iter().map(|&p| vec![v.col(i)[p]]).collect())
+            .collect();
+    }
+
+    let opts = PcgOptions {
+        rel_tolerance: cfg.pcg_tol,
+        max_iterations: 10_000,
+        threads: cfg.threads.max(1),
+    };
+    let g_matrix = pg.conductance_matrix();
+    let g_for_system = match cfg.scheme {
+        IntegrationScheme::BackwardEuler => g_matrix.clone(),
+        IntegrationScheme::Trapezoidal => {
+            let mut half = g_matrix.clone();
+            for val in half.values_mut() {
+                *val *= 0.5;
+            }
+            half
+        }
+    };
+    let cap = pg.capacitance();
+    let mut gv = vec![0.0; n];
+    let t_solve = Instant::now();
+    let mut steps = 0usize;
+    for w in grid.windows(2) {
+        if active.is_empty() {
+            break;
+        }
+        let (t0, t1) = (w[0], w[1]);
+        let h = t1 - t0;
+        let shifts: Vec<f64> = cap.iter().map(|&c| c / h).collect();
+        let a = g_for_system
+            .add_diagonal(&shifts)
+            .expect("conductance matrix is square by construction");
+        let mut rhs = MultiVec::zeros(n, active.len());
+        for (i, &s) in active.iter().enumerate() {
+            step_rhs(
+                pg,
+                cfg.scheme,
+                t0,
+                t1,
+                h,
+                v.col(i),
+                scenarios[s].scales(),
+                &g_matrix,
+                &mut gv,
+                rhs.col_mut(i),
+            );
+        }
+        let sol = block_pcg_with_guess(&a, &rhs, Some(&v), preconditioner, &opts);
+        v = sol.x;
+        steps += 1;
+        times.push(t1);
+        for (total, its) in total_iters.iter_mut().zip(sol.iterations.iter()) {
+            *total += its;
+        }
+        // Classify this step's columns; survivors keep their slots, failed
+        // columns drop out of the recurrence entirely.
+        let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+        for i in 0..active.len() {
+            let kind = if sol.reasons[i].is_breakdown() {
+                Some(ScenarioFailureKind::SolverBreakdown { reason: sol.reasons[i] })
+            } else if v.col(i).iter().any(|x| !x.is_finite()) {
+                Some(ScenarioFailureKind::NonFiniteState)
+            } else {
+                None
+            };
+            match kind {
+                Some(kind) => {
+                    failures[active[i]] =
+                        Some(ScenarioFailure { scenario: active[i], step: steps, kind });
+                }
+                None => keep.push(i),
+            }
+        }
+        if keep.len() != active.len() {
+            v = keep_columns(&v, &keep);
+            total_iters = keep.iter().map(|&i| total_iters[i]).collect();
+            probes = keep.iter().map(|&i| std::mem::take(&mut probes[i])).collect();
+            active = keep.iter().map(|&i| active[i]).collect();
+        }
+        for (i, scenario_probes) in probes.iter_mut().enumerate() {
+            for (trace, &p) in scenario_probes.iter_mut().zip(probe_nodes.iter()) {
+                trace.push(v.col(i)[p]);
+            }
+        }
+    }
+
+    let survivors = active.len();
+    let solve_time =
+        if survivors > 0 { t_solve.elapsed() / survivors as u32 } else { Duration::ZERO };
+    let mut results: Vec<Option<TransientResult>> = vec![None; scenarios.len()];
+    for ((s, scenario_probes), iters) in active.iter().zip(probes).zip(total_iters) {
+        results[*s] = Some(TransientResult {
+            times: times.clone(),
+            probes: scenario_probes,
+            stats: TransientStats {
+                steps,
+                factor_time: Duration::ZERO,
+                solve_time,
+                total_pcg_iterations: iters,
+                avg_pcg_iterations: if steps > 0 { iters as f64 / steps as f64 } else { 0.0 },
+                memory_bytes: preconditioner.memory_bytes(),
+                factorizations: 0,
+            },
+        });
+    }
+
+    Ok(scenarios
+        .iter()
+        .enumerate()
+        .map(|(s, _)| match failures[s].take() {
+            Some(fail) => ScenarioOutcome::Failed(fail),
+            None => ScenarioOutcome::Completed(
+                results[s].take().expect("non-failed scenario has a result"),
+            ),
+        })
+        .collect())
+}
+
+/// Fault-tolerant variant of [`simulate_direct_batch`]: malformed
+/// scenarios become [`ScenarioOutcome::Failed`] entries instead of
+/// panics, and the remaining ensemble runs through the shared direct
+/// solver unchanged.
+///
+/// The direct engine advances every scenario with the same factorized
+/// operator, so per-scenario numerical divergence can only enter through
+/// the right-hand sides; a scenario whose waveforms go non-finite is
+/// reported as [`ScenarioFailureKind::NonFiniteState`] with the step at
+/// which its probe traces first left the finite range.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotPositiveDefinite`] when `G + C/h` cannot be
+/// factorized — a shared failure that dooms every scenario alike.
+///
+/// # Panics
+///
+/// Panics if a probe node is out of bounds or `scenarios` is empty.
+pub fn simulate_direct_batch_outcomes(
+    pg: &PowerGrid,
+    cfg: &TransientConfig,
+    probe_nodes: &[usize],
+    scenarios: &[SourceScenario],
+) -> Result<Vec<ScenarioOutcome>, SparseError> {
+    assert!(!scenarios.is_empty(), "at least one scenario is required");
+    let num_sources = pg.sources().len();
+    let mut failures: Vec<Option<ScenarioFailure>> = vec![None; scenarios.len()];
+    let mut active: Vec<usize> = Vec::new();
+    for (s, sc) in scenarios.iter().enumerate() {
+        match validate_scenario(sc, num_sources) {
+            Some(kind) => failures[s] = Some(ScenarioFailure { scenario: s, step: 0, kind }),
+            None => active.push(s),
+        }
+    }
+    let mut results: Vec<Option<TransientResult>> = vec![None; scenarios.len()];
+    if !active.is_empty() {
+        let active_scenarios: Vec<SourceScenario> =
+            active.iter().map(|&s| scenarios[s].clone()).collect();
+        let batch = simulate_direct_batch(pg, cfg, probe_nodes, &active_scenarios)?;
+        for (&s, result) in active.iter().zip(batch) {
+            let bad_step = result
+                .probes
+                .iter()
+                .filter_map(|trace| trace.iter().position(|x| !x.is_finite()))
+                .min();
+            match bad_step {
+                Some(step) => {
+                    failures[s] = Some(ScenarioFailure {
+                        scenario: s,
+                        step,
+                        kind: ScenarioFailureKind::NonFiniteState,
+                    });
+                }
+                None => results[s] = Some(result),
+            }
+        }
+    }
+    Ok(scenarios
+        .iter()
+        .enumerate()
+        .map(|(s, _)| match failures[s].take() {
+            Some(fail) => ScenarioOutcome::Failed(fail),
+            None => ScenarioOutcome::Completed(
+                results[s].take().expect("non-failed scenario has a result"),
+            ),
+        })
+        .collect())
+}
+
 /// Picks two interesting probe nodes: one next to a pad (stiff, near-VDD)
 /// and one at maximum BFS distance from every pad (worst droop). These
 /// play the role of the paper's Fig. 1 "VDD node" and worst-case node.
@@ -701,6 +1101,7 @@ pub fn probe_pair(pg: &PowerGrid) -> (usize, usize) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::synth::{synthesize, SynthConfig};
@@ -978,6 +1379,102 @@ mod tests {
                 "threads {threads}: iterations moved from {a} to {b}"
             );
         }
+    }
+
+    #[test]
+    fn pcg_outcomes_match_batch_when_everything_is_healthy() {
+        let pg = small_grid();
+        let (near, far) = probe_pair(&pg);
+        let probes = [near, far];
+        let cfg = TransientConfig { t_end: 1e-9, pcg_tol: 1e-8, ..Default::default() };
+        let pre = CholPreconditioner::from_matrix(&pg.conductance_matrix()).unwrap();
+        let scenarios = scenario_ensemble(&pg, 4);
+        let batch = simulate_pcg_batch(&pg, &cfg, &pre, &probes, &scenarios).unwrap();
+        let outcomes = simulate_pcg_batch_outcomes(&pg, &cfg, &pre, &probes, &scenarios).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        for (s, out) in outcomes.iter().enumerate() {
+            let r = out.result().expect("healthy scenario must complete");
+            assert_eq!(max_trace_gap(r, &batch[s]), 0.0, "scenario {s}");
+            assert_eq!(r.stats.total_pcg_iterations, batch[s].stats.total_pcg_iterations);
+        }
+    }
+
+    #[test]
+    fn pcg_outcomes_isolate_a_poisoned_scenario() {
+        let pg = small_grid();
+        let (near, far) = probe_pair(&pg);
+        let probes = [near, far];
+        let cfg = TransientConfig { t_end: 1e-9, pcg_tol: 1e-8, ..Default::default() };
+        let pre = CholPreconditioner::from_matrix(&pg.conductance_matrix()).unwrap();
+        let mut scenarios = scenario_ensemble(&pg, 4);
+        // Poison scenario 2 with a NaN scale; the rest must be unaffected.
+        let m = pg.sources().len();
+        let mut bad = vec![1.0; m];
+        bad[0] = f64::NAN;
+        scenarios[2] = SourceScenario::per_source(bad);
+        let clean: Vec<SourceScenario> =
+            [0usize, 1, 3].iter().map(|&s| scenarios[s].clone()).collect();
+        let reference = simulate_pcg_batch(&pg, &cfg, &pre, &probes, &clean).unwrap();
+        let outcomes = simulate_pcg_batch_outcomes(&pg, &cfg, &pre, &probes, &scenarios).unwrap();
+        let fail = outcomes[2].failure().expect("poisoned scenario must fail");
+        assert_eq!(fail.scenario, 2);
+        assert_eq!(fail.step, 0);
+        assert!(matches!(fail.kind, ScenarioFailureKind::InvalidScale { index: 0, .. }));
+        assert!(fail.to_string().contains("scenario 2"));
+        for (r, &s) in reference.iter().zip([0usize, 1, 3].iter()) {
+            let out = outcomes[s].result().expect("clean scenario must survive");
+            // Column independence: survivors are bit-identical to a batch
+            // that never contained the poisoned member.
+            assert_eq!(max_trace_gap(out, r), 0.0, "scenario {s}");
+        }
+    }
+
+    #[test]
+    fn pcg_outcomes_flag_wrong_scale_length() {
+        let pg = small_grid();
+        let cfg = TransientConfig { t_end: 2e-10, ..Default::default() };
+        let pre = CholPreconditioner::from_matrix(&pg.conductance_matrix()).unwrap();
+        let scenarios = vec![SourceScenario::nominal(), SourceScenario::per_source(vec![1.0, 2.0])];
+        let outcomes = simulate_pcg_batch_outcomes(&pg, &cfg, &pre, &[0], &scenarios).unwrap();
+        assert!(outcomes[0].is_completed());
+        assert!(matches!(
+            outcomes[1].failure().unwrap().kind,
+            ScenarioFailureKind::ScaleLength { found: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn direct_outcomes_isolate_malformed_scenarios() {
+        let pg = small_grid();
+        let (near, far) = probe_pair(&pg);
+        let probes = [near, far];
+        let cfg = quick_cfg();
+        let m = pg.sources().len();
+        let mut bad = vec![1.0; m];
+        bad[1] = f64::INFINITY;
+        let scenarios = vec![
+            SourceScenario::nominal(),
+            SourceScenario::per_source(bad),
+            SourceScenario::uniform(0.5, m),
+        ];
+        let outcomes = simulate_direct_batch_outcomes(&pg, &cfg, &probes, &scenarios).unwrap();
+        assert!(outcomes[0].is_completed());
+        assert!(matches!(
+            outcomes[1].failure().unwrap().kind,
+            ScenarioFailureKind::InvalidScale { index: 1, .. }
+        ));
+        assert!(outcomes[2].is_completed());
+        // Survivors match a clean batch exactly (shared factor, per-column
+        // substitutions).
+        let clean = simulate_direct_batch(
+            &pg,
+            &cfg,
+            &probes,
+            &[scenarios[0].clone(), scenarios[2].clone()],
+        )
+        .unwrap();
+        assert_eq!(max_trace_gap(outcomes[0].result().unwrap(), &clean[0]), 0.0);
+        assert_eq!(max_trace_gap(outcomes[2].result().unwrap(), &clean[1]), 0.0);
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub fn merged_time_grid(waveforms: &[PulseWaveform], t_end: f64, max_step: f64) 
     for w in waveforms {
         pts.extend(w.breakpoints(t_end));
     }
-    pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: NaN-safe — a corrupted breakpoint must not panic the
+    // sort (it sorts last and the caller's non-finite checks catch it).
+    pts.sort_by(f64::total_cmp);
     let tol = 1e-12 * t_end.max(1e-30);
     pts.dedup_by(|a, b| (*a - *b).abs() <= tol);
     // Subdivide long gaps.
@@ -112,6 +114,7 @@ pub fn merged_time_grid(waveforms: &[PulseWaveform], t_end: f64, max_step: f64) 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

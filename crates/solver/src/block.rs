@@ -32,6 +32,7 @@ use tracered_sparse::{par_dot, par_xpby, CscMatrix, MultiVec};
 
 use crate::pcg::PcgOptions;
 use crate::precond::Preconditioner;
+use crate::termination::{TerminationReason, STAGNATION_WINDOW};
 
 /// Result of a [`block_pcg`] solve. Per-column diagnostics are indexed by
 /// the original right-hand-side column, regardless of deflation order.
@@ -45,6 +46,9 @@ pub struct BlockPcgSolution {
     pub rel_residual: Vec<f64>,
     /// Whether each column met the tolerance.
     pub converged: Vec<bool>,
+    /// Why each column stopped — the same classification as the
+    /// single-RHS [`crate::PcgSolution`], per column.
+    pub reasons: Vec<TerminationReason>,
     /// Block iterations executed (the maximum over column iterations).
     pub sweeps: usize,
 }
@@ -59,6 +63,12 @@ impl BlockPcgSolution {
     /// paper's `N_i` accounting).
     pub fn total_iterations(&self) -> usize {
         self.iterations.iter().sum()
+    }
+
+    /// Original column indices that stopped on a numerical breakdown
+    /// (not converged, not merely capped).
+    pub fn breakdown_columns(&self) -> Vec<usize> {
+        self.reasons.iter().enumerate().filter(|(_, r)| r.is_breakdown()).map(|(c, _)| c).collect()
     }
 }
 
@@ -137,6 +147,11 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
     let mut iterations = vec![0usize; k];
     let mut rel_residual = vec![0.0f64; k];
     let mut converged = vec![false; k];
+    let mut reasons = vec![TerminationReason::MaxIterations; k];
+    // Per-column stagnation trackers, indexed by original column like the
+    // other diagnostics (deflation reorders slots, not columns).
+    let mut best_rel = vec![f64::INFINITY; k];
+    let mut since_improve = vec![0usize; k];
 
     // Zero right-hand sides are answered with zero columns immediately,
     // like the single-RHS path; everything else enters the active set.
@@ -147,6 +162,7 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
         if bnorm == 0.0 {
             x.col_mut(col).fill(0.0);
             *conv = true;
+            reasons[col] = TerminationReason::Converged;
         } else {
             slot2col.push(col);
             bnorms.push(bnorm);
@@ -183,7 +199,9 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
     for s in 0..m0 {
         p_blk.col_mut(s).copy_from_slice(z_blk.col(s));
         rzs.push(dot_t(r_blk.col(s), z_blk.col(s)));
-        rel_residual[slot2col[s]] = norm_t(r_blk.col(s)) / bnorms[s];
+        let rel = norm_t(r_blk.col(s)) / bnorms[s];
+        rel_residual[slot2col[s]] = rel;
+        best_rel[slot2col[s]] = rel;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -207,10 +225,22 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
         slot2col.swap_remove(s);
     }
 
-    // Columns already at tolerance converge with zero iterations.
+    // Columns already at tolerance converge with zero iterations; a NaN
+    // rhs or guess poisons the entry residual and is classified before
+    // any work, like the single-RHS path's skipped loop.
     for s in (0..slot2col.len()).rev() {
-        if rel_residual[slot2col[s]] <= options.rel_tolerance {
+        let rel = rel_residual[slot2col[s]];
+        let done = if rel <= options.rel_tolerance {
             converged[slot2col[s]] = true;
+            reasons[slot2col[s]] = TerminationReason::Converged;
+            true
+        } else if !rel.is_finite() {
+            reasons[slot2col[s]] = TerminationReason::NonFinite;
+            true
+        } else {
+            false
+        };
+        if done {
             deflate(
                 s,
                 &mut r_blk,
@@ -236,6 +266,11 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
         }
         for s in (0..slot2col.len()).rev() {
             if paps[s] <= 0.0 || !paps[s].is_finite() {
+                reasons[slot2col[s]] = if !paps[s].is_finite() {
+                    TerminationReason::NonFinite
+                } else {
+                    TerminationReason::IndefiniteOperator
+                };
                 paps.swap_remove(s);
                 deflate(
                     s,
@@ -282,8 +317,29 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
             iterations[col] += 1;
             let rel = norm_t(r_blk.col(s)) / bnorms[s];
             rel_residual[col] = rel;
-            if rel <= options.rel_tolerance {
+            // Same classification order as the single-RHS loop: a
+            // non-finite residual, then the tolerance, then stagnation.
+            let done = if !rel.is_finite() {
+                reasons[col] = TerminationReason::NonFinite;
+                true
+            } else if rel <= options.rel_tolerance {
                 converged[col] = true;
+                reasons[col] = TerminationReason::Converged;
+                true
+            } else if rel < best_rel[col] {
+                best_rel[col] = rel;
+                since_improve[col] = 0;
+                false
+            } else {
+                since_improve[col] += 1;
+                if since_improve[col] >= STAGNATION_WINDOW {
+                    reasons[col] = TerminationReason::Stagnation;
+                    true
+                } else {
+                    false
+                }
+            };
+            if done {
                 deflate(
                     s,
                     &mut r_blk,
@@ -300,8 +356,36 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
             break;
         }
         preconditioner.apply_multi(&r_blk, &mut z_blk);
+        // Preconditioner curvature check mirrors the single-RHS path:
+        // compute every rᵀz first, deflate broken columns (keeping their
+        // best iterate), then advance the survivors' recurrences — the
+        // survivor arithmetic is untouched by the deflations.
+        let mut rz_nexts: Vec<f64> = Vec::with_capacity(slot2col.len());
+        for s in 0..slot2col.len() {
+            rz_nexts.push(dot_t(r_blk.col(s), z_blk.col(s)));
+        }
+        for s in (0..slot2col.len()).rev() {
+            if rz_nexts[s] <= 0.0 || !rz_nexts[s].is_finite() {
+                reasons[slot2col[s]] = if !rz_nexts[s].is_finite() {
+                    TerminationReason::NonFinite
+                } else {
+                    TerminationReason::IndefinitePreconditioner
+                };
+                rz_nexts.swap_remove(s);
+                deflate(
+                    s,
+                    &mut r_blk,
+                    &mut z_blk,
+                    &mut p_blk,
+                    &mut ap_blk,
+                    &mut rzs,
+                    &mut bnorms,
+                    &mut slot2col,
+                );
+            }
+        }
         for (s, rz) in rzs.iter_mut().enumerate() {
-            let rz_next = dot_t(r_blk.col(s), z_blk.col(s));
+            let rz_next = rz_nexts[s];
             let beta = rz_next / *rz;
             *rz = rz_next;
             let zc = z_blk.col(s);
@@ -315,7 +399,7 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
             }
         }
     }
-    BlockPcgSolution { x, iterations, rel_residual, converged, sweeps }
+    BlockPcgSolution { x, iterations, rel_residual, converged, reasons, sweeps }
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -328,6 +412,7 @@ fn matrix_scale(a: &CscMatrix) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pcg::{pcg, pcg_with_guess};
@@ -452,6 +537,72 @@ mod tests {
         let sol = block_pcg(&a, &b, &IdentityPreconditioner, &PcgOptions::default());
         assert_eq!(sol.x.ncols(), 0);
         assert!(sol.iterations.is_empty());
+        assert!(sol.reasons.is_empty());
         assert_eq!(sol.sweeps, 0);
+    }
+
+    #[test]
+    fn reasons_match_single_rhs_classification() {
+        use crate::termination::TerminationReason;
+        let (a, b) = system();
+        let pre = JacobiPreconditioner::from_matrix(&a).unwrap();
+        for opts in [
+            PcgOptions::with_tolerance(1e-9),
+            PcgOptions { rel_tolerance: 1e-14, max_iterations: 3, ..Default::default() },
+        ] {
+            let block = block_pcg(&a, &b, &pre, &opts);
+            for c in 0..b.ncols() {
+                let single = pcg(&a, b.col(c), &pre, &opts);
+                assert_eq!(single.reason, block.reasons[c], "column {c}");
+            }
+        }
+        // Zero columns are classified converged.
+        let zero = MultiVec::zeros(a.ncols(), 2);
+        let sol = block_pcg(&a, &zero, &pre, &PcgOptions::default());
+        assert!(sol.reasons.iter().all(|&r| r == TerminationReason::Converged));
+        assert!(sol.breakdown_columns().is_empty());
+    }
+
+    #[test]
+    fn per_column_breakdowns_leave_survivors_untouched() {
+        use crate::termination::TerminationReason;
+        use tracered_sparse::CooMatrix;
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        let a = coo.to_csc();
+        // Column 0 hits pᵀAp = 0 immediately; column 1 never touches the
+        // indefinite coordinate and converges exactly.
+        let cols = [&[1.0, 1.0][..], &[1.0, 0.0][..]];
+        let b = MultiVec::from_columns(&cols).unwrap();
+        let sol = block_pcg(&a, &b, &IdentityPreconditioner, &PcgOptions::default());
+        assert_eq!(sol.reasons[0], TerminationReason::IndefiniteOperator);
+        assert!(!sol.converged[0]);
+        assert_eq!(sol.reasons[1], TerminationReason::Converged);
+        assert!(sol.converged[1]);
+        assert_eq!(sol.breakdown_columns(), vec![0]);
+        // The survivor matches its single-RHS run bit for bit.
+        let single = pcg(&a, b.col(1), &IdentityPreconditioner, &PcgOptions::default());
+        assert_eq!(single.iterations, sol.iterations[1]);
+        for (s, m) in single.x.iter().zip(sol.x.col(1).iter()) {
+            assert!((s - m).abs() == 0.0);
+        }
+    }
+
+    #[test]
+    fn non_finite_column_is_classified_without_poisoning_batch() {
+        use crate::termination::TerminationReason;
+        let (a, b) = system();
+        let n = a.ncols();
+        let mut bad = vec![1.0; n];
+        bad[3] = f64::NAN;
+        let cols = [b.col(0), &bad[..]];
+        let mixed = MultiVec::from_columns(&cols).unwrap();
+        let sol = block_pcg(&a, &mixed, &IdentityPreconditioner, &PcgOptions::with_tolerance(1e-8));
+        assert_eq!(sol.reasons[1], TerminationReason::NonFinite);
+        assert!(!sol.converged[1]);
+        assert_eq!(sol.iterations[1], 0, "poisoned column must be dropped before any work");
+        assert!(sol.converged[0]);
+        assert!(a.residual_inf_norm(sol.x.col(0), b.col(0)) < 1e-4);
     }
 }

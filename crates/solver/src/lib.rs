@@ -12,7 +12,11 @@
 //! - [`direct`]: a convenience direct solver (ordering + factorization +
 //!   substitutions), the "Direct" baseline of the paper's Tables 2–3;
 //! - [`eigen`]: inverse power iteration for the Fiedler vector (spectral
-//!   partitioning, Table 3).
+//!   partitioning, Table 3);
+//! - [`termination`]: the classified [`TerminationReason`] taxonomy every
+//!   iterative solve reports instead of silently breaking down;
+//! - [`robust`]: the [`robust_solve`] escalation chain — PCG → refreshed
+//!   boosted preconditioner → direct solve, with per-attempt diagnostics.
 //!
 //! # Example
 //!
@@ -37,11 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[warn(clippy::unwrap_used)]
 pub mod block;
 pub mod direct;
 pub mod eigen;
+#[warn(clippy::unwrap_used)]
 pub mod pcg;
 pub mod precond;
+pub mod robust;
+#[warn(clippy::unwrap_used)]
+pub mod termination;
 
 pub use block::{block_pcg, block_pcg_with_guess, BlockPcgSolution};
 pub use direct::DirectSolver;
@@ -50,3 +59,5 @@ pub use precond::{
     CholPreconditioner, IcPreconditioner, IdentityPreconditioner, JacobiPreconditioner,
     Preconditioner,
 };
+pub use robust::{robust_solve, RobustSolution, RobustSolveConfig, SolveAttempt, SolveStrategy};
+pub use termination::TerminationReason;

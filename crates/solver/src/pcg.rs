@@ -3,6 +3,7 @@
 use tracered_sparse::{par_dot, par_xpby, CscMatrix};
 
 use crate::precond::Preconditioner;
+use crate::termination::{TerminationReason, STAGNATION_WINDOW};
 
 /// Options for [`pcg`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +54,10 @@ pub struct PcgSolution {
     pub rel_residual: f64,
     /// Whether the tolerance was met within the iteration cap.
     pub converged: bool,
+    /// Why the iteration stopped — breakdowns that used to exit
+    /// silently ([`TerminationReason::IndefiniteOperator`],
+    /// [`TerminationReason::NonFinite`], …) are now classified here.
+    pub reason: TerminationReason,
 }
 
 /// Solves `A x = b` by preconditioned conjugate gradient from a zero
@@ -113,7 +118,13 @@ pub fn pcg_with_guess<P: Preconditioner>(
 
     let bnorm = norm_t(b);
     if bnorm == 0.0 {
-        return PcgSolution { x: vec![0.0; n], iterations: 0, rel_residual: 0.0, converged: true };
+        return PcgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            rel_residual: 0.0,
+            converged: true,
+            reason: TerminationReason::Converged,
+        };
     }
     let mut x = match x0 {
         Some(v) => {
@@ -135,10 +146,21 @@ pub fn pcg_with_guess<P: Preconditioner>(
     let mut ap = vec![0.0; n];
     let mut rel = norm_t(&r) / bnorm;
     let mut iterations = 0;
+    let mut reason = TerminationReason::MaxIterations;
+    // Stagnation detection: a breakdown that manifests as a residual
+    // that never improves (e.g. a preconditioner that keeps cancelling
+    // the step) rather than as a sign or NaN anomaly.
+    let mut best_rel = rel;
+    let mut since_improve = 0usize;
     while rel > options.rel_tolerance && iterations < options.max_iterations {
         spmv(&p, &mut ap);
         let pap = dot_t(&p, &ap);
-        if pap <= 0.0 || !pap.is_finite() {
+        if !pap.is_finite() {
+            reason = TerminationReason::NonFinite;
+            break; // bail out with best iterate
+        }
+        if pap <= 0.0 {
+            reason = TerminationReason::IndefiniteOperator;
             break; // matrix not SPD along p; bail out with best iterate
         }
         let alpha = rz / pap;
@@ -162,11 +184,33 @@ pub fn pcg_with_guess<P: Preconditioner>(
         }
         iterations += 1;
         rel = norm_t(&r) / bnorm;
-        if rel <= options.rel_tolerance {
+        if !rel.is_finite() {
+            reason = TerminationReason::NonFinite;
             break;
+        }
+        if rel <= options.rel_tolerance {
+            break; // classified Converged below
+        }
+        if rel < best_rel {
+            best_rel = rel;
+            since_improve = 0;
+        } else {
+            since_improve += 1;
+            if since_improve >= STAGNATION_WINDOW {
+                reason = TerminationReason::Stagnation;
+                break;
+            }
         }
         preconditioner.apply(&r, &mut z);
         let rz_next = dot_t(&r, &z);
+        if !rz_next.is_finite() {
+            reason = TerminationReason::NonFinite;
+            break;
+        }
+        if rz_next <= 0.0 {
+            reason = TerminationReason::IndefinitePreconditioner;
+            break;
+        }
         let beta = rz_next / rz;
         rz = rz_next;
         if t <= 1 {
@@ -177,7 +221,17 @@ pub fn pcg_with_guess<P: Preconditioner>(
             par_xpby(&mut p, beta, &z, t);
         }
     }
-    PcgSolution { x, iterations, rel_residual: rel, converged: rel <= options.rel_tolerance }
+    let converged = rel <= options.rel_tolerance;
+    if converged {
+        // Covers both the in-loop tolerance break and a warm start that
+        // was already converged at entry.
+        reason = TerminationReason::Converged;
+    } else if !rel.is_finite() {
+        // A NaN rhs or guess poisons `rel` before the first iteration;
+        // the NaN comparison then skips the loop entirely.
+        reason = TerminationReason::NonFinite;
+    }
+    PcgSolution { x, iterations, rel_residual: rel, converged, reason }
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -196,6 +250,7 @@ fn norm2(v: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::precond::{CholPreconditioner, IdentityPreconditioner, JacobiPreconditioner};
@@ -263,6 +318,45 @@ mod tests {
         let sol = pcg(&a, &b, &IdentityPreconditioner, &opts);
         assert!(!sol.converged);
         assert_eq!(sol.iterations, 3);
+        assert_eq!(sol.reason, TerminationReason::MaxIterations);
+    }
+
+    #[test]
+    fn converged_solves_report_converged() {
+        let (a, b) = system();
+        let sol = pcg(&a, &b, &IdentityPreconditioner, &PcgOptions::with_tolerance(1e-8));
+        assert_eq!(sol.reason, TerminationReason::Converged);
+        // A warm start from the solution converges at entry.
+        let warm =
+            pcg_with_guess(&a, &b, Some(&sol.x), &IdentityPreconditioner, &PcgOptions::default());
+        assert_eq!(warm.reason, TerminationReason::Converged);
+        assert!(warm.converged);
+        // Zero rhs is trivially converged.
+        let zero = pcg(&a, &vec![0.0; 100], &IdentityPreconditioner, &PcgOptions::default());
+        assert_eq!(zero.reason, TerminationReason::Converged);
+    }
+
+    #[test]
+    fn indefinite_operator_is_classified() {
+        use tracered_sparse::CooMatrix;
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        let a = coo.to_csc();
+        // p₀ = b = (1, 1): pᵀAp = 0 — breakdown on the first iteration.
+        let sol = pcg(&a, &[1.0, 1.0], &IdentityPreconditioner, &PcgOptions::default());
+        assert!(!sol.converged);
+        assert_eq!(sol.reason, TerminationReason::IndefiniteOperator);
+        assert!(sol.reason.is_breakdown());
+    }
+
+    #[test]
+    fn non_finite_rhs_is_classified() {
+        let (a, mut b) = system();
+        b[7] = f64::NAN;
+        let sol = pcg(&a, &b, &IdentityPreconditioner, &PcgOptions::default());
+        assert!(!sol.converged);
+        assert_eq!(sol.reason, TerminationReason::NonFinite);
     }
 
     #[test]

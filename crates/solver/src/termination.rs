@@ -1,0 +1,106 @@
+//! Classified termination of iterative solves — the PETSc-style
+//! "diverged reason" taxonomy that replaces silent breakdown exits.
+//!
+//! Before this module, a PCG breakdown (`pᵀAp ≤ 0`, a NaN residual, a
+//! stalled iteration) just `break`-ed out of the loop and reported
+//! `converged: false`, indistinguishable from an honest iteration-cap
+//! hit. Every solve now carries a [`TerminationReason`] so callers — in
+//! particular the escalation chain of [`crate::robust::robust_solve`] —
+//! can pick the right recovery: a breakdown warrants a refreshed or
+//! boosted preconditioner, a cap hit warrants more iterations or a
+//! direct solve, and a non-finite value warrants input validation.
+
+use std::fmt;
+
+/// How many consecutive non-improving iterations (relative residual not
+/// strictly below the best seen) PCG tolerates before classifying the
+/// solve as [`TerminationReason::Stagnation`]. Large enough that the
+/// non-monotone residual plateaus of healthy CG runs never trip it.
+pub const STAGNATION_WINDOW: usize = 128;
+
+/// Why an iterative solve stopped.
+///
+/// Recorded in [`crate::PcgSolution`] and (per column) in
+/// [`crate::BlockPcgSolution`]; the breakdown variants drive the
+/// escalation chain in [`crate::robust::robust_solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TerminationReason {
+    /// The relative residual met the tolerance.
+    Converged,
+    /// The iteration cap was reached with the tolerance unmet (and no
+    /// breakdown observed) — the honest "needs more work" outcome.
+    MaxIterations,
+    /// `pᵀAp ≤ 0`: the operator is not positive definite along the
+    /// current search direction.
+    IndefiniteOperator,
+    /// `rᵀz ≤ 0` after applying the preconditioner: the preconditioner
+    /// is not positive definite (e.g. a stale or over-dropped
+    /// incomplete factor).
+    IndefinitePreconditioner,
+    /// A NaN or infinity appeared in the iteration (operator product,
+    /// preconditioned residual, or residual norm).
+    NonFinite,
+    /// The relative residual failed to improve for
+    /// [`STAGNATION_WINDOW`] consecutive iterations.
+    Stagnation,
+}
+
+impl TerminationReason {
+    /// `true` for the numerical-breakdown variants — the ones where
+    /// retrying with the same operator and preconditioner cannot help
+    /// ([`IndefiniteOperator`](Self::IndefiniteOperator),
+    /// [`IndefinitePreconditioner`](Self::IndefinitePreconditioner),
+    /// [`NonFinite`](Self::NonFinite),
+    /// [`Stagnation`](Self::Stagnation)).
+    pub fn is_breakdown(self) -> bool {
+        !matches!(self, TerminationReason::Converged | TerminationReason::MaxIterations)
+    }
+}
+
+impl fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            TerminationReason::Converged => "converged",
+            TerminationReason::MaxIterations => "iteration cap reached",
+            TerminationReason::IndefiniteOperator => "operator indefinite along search direction",
+            TerminationReason::IndefinitePreconditioner => "preconditioner not positive definite",
+            TerminationReason::NonFinite => "non-finite value in iteration",
+            TerminationReason::Stagnation => "residual stagnated",
+        };
+        f.write_str(msg)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_classification() {
+        assert!(!TerminationReason::Converged.is_breakdown());
+        assert!(!TerminationReason::MaxIterations.is_breakdown());
+        assert!(TerminationReason::IndefiniteOperator.is_breakdown());
+        assert!(TerminationReason::IndefinitePreconditioner.is_breakdown());
+        assert!(TerminationReason::NonFinite.is_breakdown());
+        assert!(TerminationReason::Stagnation.is_breakdown());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for r in [
+            TerminationReason::Converged,
+            TerminationReason::MaxIterations,
+            TerminationReason::IndefiniteOperator,
+            TerminationReason::IndefinitePreconditioner,
+            TerminationReason::NonFinite,
+            TerminationReason::Stagnation,
+        ] {
+            let msg = r.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -53,6 +53,15 @@ pub enum SparseError {
     },
     /// A permutation vector was not a bijection on `0..n`.
     InvalidPermutation,
+    /// A stored matrix entry was NaN or infinite — caught by the cheap
+    /// input scan of [`crate::regularize::scan_non_finite`] before it can
+    /// poison a factorization or an iterative solve.
+    NonFiniteValue {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -76,6 +85,9 @@ impl fmt::Display for SparseError {
             SparseError::InvalidPermutation => {
                 write!(f, "permutation vector is not a bijection on 0..n")
             }
+            SparseError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite value at entry ({row}, {col})")
+            }
         }
     }
 }
@@ -97,6 +109,7 @@ mod tests {
             SparseError::InvalidValue { what: "NaN weight".into() },
             SparseError::InvalidFormat { what: "bad header".into() },
             SparseError::InvalidPermutation,
+            SparseError::NonFiniteValue { row: 1, col: 2 },
         ];
         for e in errors {
             let msg = e.to_string();

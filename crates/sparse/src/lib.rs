@@ -61,6 +61,7 @@ pub mod ichol;
 pub mod multivec;
 pub mod order;
 pub mod perm;
+pub mod regularize;
 pub mod spai;
 pub mod sparsevec;
 
@@ -72,4 +73,8 @@ pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use multivec::MultiVec;
 pub use perm::Permutation;
+pub use regularize::{
+    factorize_regularized, factorize_regularized_threads, scan_non_finite, BoostSchedule,
+    RegularizedFactor,
+};
 pub use spai::{ApproxInverse, SpaiOptions};
