@@ -1,0 +1,292 @@
+//! Service-scaling benchmark: Poisson open-loop load against the solver
+//! service, sweeping arrival rate × `max_batch_width`.
+//!
+//! A deterministic load generator submits PCG requests with
+//! exponentially distributed inter-arrival gaps (open loop: the arrival
+//! process never waits for responses), while a collector thread stamps
+//! each response as it lands. Per `(rate, width)` cell the record in
+//! `BENCH_pr7.json` carries:
+//!
+//! - `achieved_rps` — completed requests per wall-clock second;
+//! - `mean_batch_width` — average executed batch width (the aggregation
+//!   payoff: `> 1` means requests actually shared blocked kernels);
+//! - `p50_latency_s` / `p99_latency_s` — submit-to-response latency
+//!   quantiles.
+//!
+//! `--check` additionally asserts the service's arithmetic contract —
+//! micro-batched responses bit-identical to one-at-a-time responses —
+//! and that the widest sweep cell at the highest offered rate actually
+//! aggregated (`mean_batch_width > 1`).
+//!
+//! Usage: `cargo run --release -p tracered-bench --bin service_scaling --
+//! [--mesh 24] [--rates 5000,20000,100000] [--widths 1,4,8]
+//! [--requests 96] [--threads 1] [--tol 1e-8] [--out BENCH_pr7.json]
+//! [--check]`
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tracered_bench::{available_parallelism, pool_size, write_bench_json, BenchRecord};
+use tracered_core::{sparsify, Method, SparsifyConfig};
+use tracered_graph::laplacian::ShiftPolicy;
+use tracered_powergrid::synth::{synthesize, SynthConfig};
+use tracered_service::{ContextSpec, ServiceConfig, ServiceRequest, SolverService, Ticket};
+use tracered_sparse::CscMatrix;
+
+struct Args {
+    mesh: usize,
+    rates: Vec<usize>,
+    widths: Vec<usize>,
+    requests: usize,
+    threads: usize,
+    tol: f64,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mesh: 24,
+        rates: vec![5_000, 20_000, 100_000],
+        widths: vec![1, 4, 8],
+        requests: 96,
+        threads: 1,
+        tol: 1e-8,
+        out: "BENCH_pr7.json".to_string(),
+        check: false,
+    };
+    let parse_list = |spec: String| -> Vec<usize> {
+        spec.split(',')
+            .map(|t| t.trim().parse().expect("list entries must be positive integers"))
+            .collect()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mesh" => {
+                args.mesh = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mesh requires a positive integer");
+            }
+            "--rates" => args.rates = parse_list(it.next().expect("--rates requires a list")),
+            "--widths" => args.widths = parse_list(it.next().expect("--widths requires a list")),
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests requires a positive integer");
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads requires a positive integer");
+            }
+            "--tol" => {
+                args.tol = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tol requires a positive tolerance");
+            }
+            "--out" => args.out = it.next().expect("--out requires a path"),
+            "--check" => args.check = true,
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    assert!(args.mesh >= 4, "--mesh must be at least 4");
+    assert!(!args.rates.is_empty() && args.rates.iter().all(|&r| r > 0));
+    assert!(!args.widths.is_empty() && args.widths.iter().all(|&w| w > 0));
+    assert!(args.requests > 0, "--requests must be positive");
+    assert!(args.threads > 0, "--threads must be positive");
+    assert!(args.tol > 0.0, "--tol must be positive");
+    args
+}
+
+/// splitmix64 — the deterministic arrival clock.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential inter-arrival gap for a Poisson process at `rate`/s.
+fn exp_gap(state: &mut u64, rate: f64) -> f64 {
+    let u = ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    -u.ln() / rate
+}
+
+fn request_rhs(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed * 0x85eb_ca6b);
+            ((h % 2000) as f64) / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn service_config(width: usize, threads: usize) -> ServiceConfig {
+    ServiceConfig {
+        max_batch_width: width,
+        // The bench favors throughput: a generous linger window lets the
+        // aggregator actually observe the offered concurrency.
+        max_linger: Duration::from_micros(500),
+        solver_threads: threads,
+        ..Default::default()
+    }
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let pg = synthesize(&SynthConfig { mesh: args.mesh, seed: 7, ..Default::default() });
+    let n = pg.num_nodes();
+    println!(
+        "power grid: {n} nodes, {} resistors; available parallelism {}",
+        pg.graph().num_edges(),
+        available_parallelism()
+    );
+
+    // The paper's pipeline feeds the service: conductance system matrix,
+    // sparsifier Laplacian as the preconditioner matrix, published once
+    // per service and shared by every request through Arc'd handles.
+    let sp_cfg = SparsifyConfig::new(Method::TraceReduction)
+        .shift(ShiftPolicy::PerNode(pg.pad_conductance().to_vec()));
+    let sp = sparsify(pg.graph(), &sp_cfg).expect("power grid is connected");
+    let system: Arc<CscMatrix> = pg.conductance_shared();
+    let precond: Arc<CscMatrix> = Arc::new(sp.laplacian(pg.graph()));
+    let spec = || {
+        ContextSpec::new(Arc::clone(&system), Arc::clone(&precond)).with_tag(sp_cfg.fingerprint())
+    };
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut check_failures: Vec<String> = Vec::new();
+    let max_rate = *args.rates.iter().max().expect("rates are non-empty");
+    let max_width = *args.widths.iter().max().expect("widths are non-empty");
+
+    for &rate in &args.rates {
+        for &width in &args.widths {
+            let svc = SolverService::start(service_config(width, args.threads));
+            svc.publish(spec()).expect("publishing the bench context must succeed");
+            let client = svc.client();
+
+            // Collector: stamp responses as they land (FIFO wait order
+            // matches the aggregator's arrival-order processing).
+            let (tx, rx) = mpsc::channel::<(Instant, Ticket)>();
+            let collector = thread::spawn(move || {
+                let mut latencies: Vec<f64> = Vec::new();
+                for (t_submit, ticket) in rx {
+                    let out = ticket
+                        .wait()
+                        .expect("bench requests are healthy")
+                        .into_solve()
+                        .expect("solve response");
+                    assert!(out.converged, "bench solve must converge");
+                    latencies.push(t_submit.elapsed().as_secs_f64());
+                }
+                latencies
+            });
+
+            // Poisson open-loop load generator.
+            let mut rng = 0x5eed_0000_0000_0007 ^ (rate as u64) << 8 ^ width as u64;
+            let t0 = Instant::now();
+            for i in 0..args.requests {
+                let req = ServiceRequest::pcg(request_rhs(n, i as u64), args.tol);
+                let _ = tx.send((Instant::now(), client.submit(req)));
+                thread::sleep(Duration::from_secs_f64(exp_gap(&mut rng, rate as f64)));
+            }
+            drop(tx);
+            let mut latencies = collector.join().expect("collector thread must not panic");
+            let wall = t0.elapsed().as_secs_f64();
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+            let m = svc.metrics();
+            assert_eq!(m.completed as usize, args.requests, "every request must complete");
+            let mean_width = m.mean_batch_width();
+            let achieved_rps = args.requests as f64 / wall;
+            let p50 = quantile(&latencies, 0.50);
+            let p99 = quantile(&latencies, 0.99);
+            records.push(
+                BenchRecord::new()
+                    .str("bench", "service_scaling")
+                    .str("case", "synth-grid")
+                    .int("mesh", args.mesh as i64)
+                    .int("nodes", n as i64)
+                    .int("offered_rate_rps", rate as i64)
+                    .int("max_batch_width", width as i64)
+                    .int("requests", args.requests as i64)
+                    .int("threads", args.threads as i64)
+                    .int("available_parallelism", available_parallelism() as i64)
+                    .int("pool_size", pool_size() as i64)
+                    .num("achieved_rps", achieved_rps)
+                    .num("mean_batch_width", mean_width)
+                    .int("widest_batch", m.max_batch_width as i64)
+                    .int("batches", m.batches as i64)
+                    .num("p50_latency_s", p50)
+                    .num("p99_latency_s", p99),
+            );
+            println!(
+                "rate {rate}/s width {width}: {achieved_rps:.0} req/s achieved, \
+                 mean batch width {mean_width:.2} (max {}), p50 {:.1}µs p99 {:.1}µs",
+                m.max_batch_width,
+                p50 * 1e6,
+                p99 * 1e6
+            );
+
+            // Aggregation gate: the widest cell under the heaviest load
+            // must actually batch.
+            if args.check && rate == max_rate && width == max_width && mean_width <= 1.0 {
+                check_failures.push(format!(
+                    "rate {rate}/s width {width}: mean batch width {mean_width:.2} \
+                     shows no aggregation under load"
+                ));
+            }
+        }
+    }
+
+    // Arithmetic gate: micro-batched responses must be bit-identical to
+    // one-at-a-time responses (same thread count on both sides).
+    if args.check {
+        let solo = SolverService::start(service_config(1, args.threads));
+        solo.publish(spec()).expect("publish");
+        let batched = SolverService::start(service_config(max_width, args.threads));
+        batched.publish(spec()).expect("publish");
+        let tickets = batched.client().submit_many(
+            (0..max_width)
+                .map(|j| ServiceRequest::pcg(request_rhs(n, 500 + j as u64), args.tol))
+                .collect(),
+        );
+        for (j, t) in tickets.into_iter().enumerate() {
+            let got = t.wait().expect("healthy request").into_solve().expect("solve");
+            let want = solo
+                .client()
+                .solve(ServiceRequest::pcg(request_rhs(n, 500 + j as u64), args.tol))
+                .expect("healthy request")
+                .into_solve()
+                .expect("solve");
+            let identical = got.x.len() == want.x.len()
+                && got.x.iter().zip(&want.x).all(|(a, b)| (a - b).abs() == 0.0)
+                && got.iterations == want.iterations;
+            if !identical {
+                check_failures.push(format!(
+                    "request {j}: batched response (width {}) differs from sequential",
+                    got.batch_width
+                ));
+            }
+        }
+    }
+
+    write_bench_json(&args.out, &records).expect("writing the bench JSON must succeed");
+    println!("wrote {} records to {}", records.len(), args.out);
+    if !check_failures.is_empty() {
+        panic!("service scaling check failed: {}", check_failures.join("; "));
+    }
+}

@@ -388,6 +388,84 @@ impl SparsifyConfig {
         }
         Ok(())
     }
+
+    /// A 64-bit fingerprint over every knob that can change the
+    /// sparsifier's *output* — the "config" half of the service layer's
+    /// factor-cache key `(matrix fingerprint, config fingerprint)`.
+    ///
+    /// `threads` and `factor_threads` are deliberately excluded: the
+    /// parallel kernels they select are bit-identical at every count
+    /// (the workspace determinism contract), so two configs differing
+    /// only in thread counts produce the same sparsifier and may share a
+    /// cached factor.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(match self.method {
+            Method::TraceReduction => 0,
+            Method::Grass => 1,
+            Method::EffectiveResistance => 2,
+            Method::JlResistance => 3,
+        });
+        mix(self.edge_fraction.to_bits());
+        mix(self.iterations as u64);
+        mix(self.beta as u64);
+        mix(self.spai_threshold.to_bits());
+        mix(self.similarity_layers as u64);
+        mix(u64::from(self.use_similarity_exclusion));
+        mix(match self.tree_kind {
+            TreeKind::MaxEffectiveWeight => 0,
+            TreeKind::MaxWeight => 1,
+            _ => u64::MAX,
+        });
+        mix(match self.ordering {
+            Ordering::Natural => 0,
+            Ordering::Rcm => 1,
+            Ordering::MinDegree => 2,
+            _ => 3,
+        });
+        match &self.shift {
+            ShiftPolicy::None => mix(0),
+            ShiftPolicy::Uniform(s) => {
+                mix(1);
+                mix(s.to_bits());
+            }
+            ShiftPolicy::RelativeMeanDegree(f) => {
+                mix(2);
+                mix(f.to_bits());
+            }
+            ShiftPolicy::PerNode(shifts) => {
+                mix(3);
+                mix(shifts.len() as u64);
+                for s in shifts {
+                    mix(s.to_bits());
+                }
+            }
+            _ => mix(u64::MAX),
+        }
+        mix(self.grass_power_steps as u64);
+        mix(self.grass_num_vectors as u64);
+        mix(self.jl_probes as u64);
+        mix(self.seed);
+        mix(u64::from(self.track_trace));
+        match &self.pivot_boost {
+            None => mix(0),
+            Some(b) => {
+                mix(1);
+                mix(b.initial_relative.to_bits());
+                mix(b.growth.to_bits());
+                mix(b.max_boosts as u64);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +483,21 @@ mod tests {
         assert!((cfg.spai_threshold_value() - 0.1).abs() < 1e-12);
         assert!(cfg.similarity_exclusion_enabled());
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn fingerprint_tracks_output_knobs_only() {
+        let base = SparsifyConfig::default();
+        assert_eq!(base.fingerprint(), SparsifyConfig::default().fingerprint(), "deterministic");
+        // Output-changing knobs move the fingerprint…
+        assert_ne!(base.fingerprint(), base.clone().edge_fraction(0.2).fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().seed(7).fingerprint());
+        assert_ne!(base.fingerprint(), SparsifyConfig::new(Method::Grass).fingerprint());
+        // …while thread knobs (bit-identical kernels) share a cache slot.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().threads(Some(8)).factor_threads(None).fingerprint()
+        );
     }
 
     #[test]

@@ -64,3 +64,11 @@ pub use partitioned::{
     PartitionedSparsifier,
 };
 pub use sparsify::{sparsify, IterationStats, Sparsifier, SparsifyReport};
+
+// Shared-handle audit: the service layer keeps `Arc<Sparsifier>` handles
+// alive across epochs and hands them to concurrent request handlers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Sparsifier>();
+    assert_send_sync::<SparsifyConfig>();
+};

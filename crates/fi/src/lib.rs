@@ -12,7 +12,11 @@
 //! - non-finite right-hand-side and source-scale entries, which must
 //!   surface as classified terminations, never as garbage answers;
 //! - panicking pool jobs, which the `tracered_par` work-stealing pool
-//!   must contain without poisoning its workers.
+//!   must contain without poisoning its workers;
+//! - request-level faults ([`RequestFault`]) for the solver-service
+//!   aggregator: NaN right-hand sides, wrong-length vectors, stale
+//!   epoch pins and panicking request closures, each of which must fail
+//!   exactly one request while its batch-mates complete.
 //!
 //! Every choice (which entry, which value, which job) is drawn from a
 //! [splitmix64](https://prng.di.unimi.it/splitmix64.c) stream, so a fault
@@ -225,6 +229,53 @@ impl FaultPlan {
         }
         mask
     }
+
+    /// Assigns request-level faults to `total` solver-service requests:
+    /// roughly one request in four draws one of the [`RequestFault`]
+    /// kinds, and at least one fault is always injected (when
+    /// `total > 0`). Deterministic per seed, like every other injector.
+    pub fn request_faults(&mut self, total: usize) -> Vec<Option<RequestFault>> {
+        let mut plan = vec![None; total];
+        if total == 0 {
+            return plan;
+        }
+        for slot in plan.iter_mut() {
+            if self.next_u64().is_multiple_of(4) {
+                *slot = Some(self.next_request_fault());
+            }
+        }
+        if !plan.iter().any(Option::is_some) {
+            let forced = self.next_index(total);
+            plan[forced] = Some(self.next_request_fault());
+        }
+        plan
+    }
+
+    /// Next request-fault kind, cycling uniformly over the variants.
+    fn next_request_fault(&mut self) -> RequestFault {
+        match self.next_u64() % 4 {
+            0 => RequestFault::NanRhs,
+            1 => RequestFault::WrongLength,
+            2 => RequestFault::StaleEpoch,
+            _ => RequestFault::PanicClosure,
+        }
+    }
+}
+
+/// A request-level fault for the solver-service chaos suite. Each kind
+/// must fail **exactly one** request with a typed error while its
+/// batch-mates complete and the aggregator keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RequestFault {
+    /// Replace one right-hand-side entry with NaN.
+    NanRhs,
+    /// Truncate the right-hand side below the system dimension.
+    WrongLength,
+    /// Pin the request to an epoch that is no longer current.
+    StaleEpoch,
+    /// Make the deferred right-hand-side closure panic.
+    PanicClosure,
 }
 
 #[cfg(test)]
@@ -254,6 +305,18 @@ mod tests {
         assert_eq!(p1.poison_pivot(&a).1, p2.poison_pivot(&a).1);
         assert_eq!(p1.nan_rhs_entry(&[1.0; 9]).1, p2.nan_rhs_entry(&[1.0; 9]).1);
         assert_eq!(p1.panic_jobs(16), p2.panic_jobs(16));
+        assert_eq!(p1.request_faults(24), p2.request_faults(24));
+    }
+
+    #[test]
+    fn request_faults_always_inject_at_least_one() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::new(seed).request_faults(8);
+            assert_eq!(plan.len(), 8);
+            assert!(plan.iter().any(Option::is_some), "seed {seed} injected nothing");
+        }
+        assert!(FaultPlan::new(1).request_faults(0).is_empty());
+        assert!(FaultPlan::new(1).request_faults(1)[0].is_some(), "a lone request is forced");
     }
 
     #[test]

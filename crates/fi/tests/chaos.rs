@@ -7,8 +7,10 @@
 //! failure replays exactly. CI exercises this suite under
 //! `TRACERED_THREADS=1` and `TRACERED_THREADS=4`.
 
+use std::sync::Arc;
 use tracered_core::{sparsify, sparsify_partitioned, Method, PartitionedConfig, SparsifyConfig};
-use tracered_fi::FaultPlan;
+
+use tracered_fi::{FaultPlan, RequestFault};
 use tracered_graph::gen::{grid2d, WeightProfile};
 use tracered_graph::laplacian::{laplacian, ShiftPolicy};
 use tracered_powergrid::synth::{synthesize, SynthConfig};
@@ -16,6 +18,7 @@ use tracered_powergrid::transient::{
     simulate_pcg_batch, simulate_pcg_batch_outcomes, ScenarioFailureKind, SourceScenario,
     TransientConfig,
 };
+use tracered_service::{ContextSpec, ServiceConfig, ServiceError, ServiceRequest, SolverService};
 use tracered_solver::pcg::{pcg, PcgOptions};
 use tracered_solver::precond::CholPreconditioner;
 use tracered_solver::{robust_solve, RobustSolveConfig, TerminationReason};
@@ -232,5 +235,177 @@ fn fault_campaign_sweep_never_panics() {
             let tol = RobustSolveConfig::default().pcg.rel_tolerance;
             assert!(sol.rel_residual <= tol * 10.0, "seed {seed}: fake convergence");
         }
+    }
+}
+
+/// Deterministic healthy right-hand side for the service chaos runs.
+fn service_rhs(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+            ((h % 1000) as f64) / 500.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn service_request_chaos_fails_only_the_faulted_requests() {
+    // Request-level chaos against the aggregation service: every
+    // injected fault must come back as a typed per-request error, every
+    // healthy batch-mate must complete, and the aggregator must keep
+    // serving afterwards — it never wedges, it never dies.
+    let g = grid2d(10, 10, WeightProfile::Unit, 4);
+    let a = Arc::new(laplacian(&g, ShiftPolicy::Uniform(0.05)).expect("valid shift"));
+    let a2 = Arc::new(laplacian(&g, ShiftPolicy::Uniform(0.25)).expect("valid shift"));
+    let n = a.ncols();
+
+    let svc = SolverService::start(ServiceConfig { max_batch_width: 4, ..Default::default() });
+    let stale_epoch = svc.publish(ContextSpec::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+    let current = svc.publish(ContextSpec::new(Arc::clone(&a2), Arc::clone(&a2))).unwrap();
+    let client = svc.client();
+
+    let mut plan = FaultPlan::new(4242);
+    let faults = plan.request_faults(24);
+    assert!(faults.iter().any(Option::is_some), "the campaign must inject something");
+    let reqs: Vec<ServiceRequest> = faults
+        .iter()
+        .enumerate()
+        .map(|(i, fault)| {
+            let b = service_rhs(n, i as u64);
+            match fault {
+                None => ServiceRequest::pcg(b, 1e-8),
+                Some(RequestFault::NanRhs) => {
+                    let (bad, _) = plan.nan_rhs_entry(&b);
+                    ServiceRequest::pcg(bad, 1e-8)
+                }
+                Some(RequestFault::WrongLength) => ServiceRequest::pcg(b[..n - 1].to_vec(), 1e-8),
+                Some(RequestFault::StaleEpoch) => ServiceRequest::pcg(b, 1e-8).pinned(stale_epoch),
+                Some(RequestFault::PanicClosure) => ServiceRequest::pcg_deferred(
+                    move || panic!("injected request fault in request {i}"),
+                    1e-8,
+                ),
+                Some(other) => panic!("unknown fault kind {other:?}"),
+            }
+        })
+        .collect();
+
+    let results: Vec<_> = client.submit_many(reqs).into_iter().map(|t| t.wait()).collect();
+    let mut healthy = 0u64;
+    let mut isolated = 0u64;
+    let mut stale = 0u64;
+    for (i, (result, fault)) in results.iter().zip(&faults).enumerate() {
+        match fault {
+            None => {
+                let out = result.as_ref().unwrap_or_else(|e| {
+                    panic!("healthy request {i} failed alongside injected faults: {e}")
+                });
+                let out = out.clone().into_solve().expect("solve response");
+                assert!(out.converged, "request {i}");
+                assert_eq!(out.epoch, current, "request {i} must run on the current epoch");
+                healthy += 1;
+            }
+            Some(RequestFault::NanRhs) => {
+                assert!(
+                    matches!(result, Err(ServiceError::NonFiniteRhs { .. })),
+                    "request {i}: {result:?}"
+                );
+                isolated += 1;
+            }
+            Some(RequestFault::WrongLength) => {
+                assert!(
+                    matches!(result, Err(ServiceError::WrongLength { expected, found })
+                        if *expected == n && *found == n - 1),
+                    "request {i}: {result:?}"
+                );
+                isolated += 1;
+            }
+            Some(RequestFault::StaleEpoch) => {
+                assert!(
+                    matches!(result, Err(ServiceError::StaleEpoch { pinned, current: c })
+                        if *pinned == stale_epoch && *c == current),
+                    "request {i}: {result:?}"
+                );
+                stale += 1;
+            }
+            Some(RequestFault::PanicClosure) => {
+                assert!(
+                    matches!(result, Err(ServiceError::RequestPanicked)),
+                    "request {i}: {result:?}"
+                );
+                isolated += 1;
+            }
+            Some(other) => panic!("unknown fault kind {other:?}"),
+        }
+    }
+
+    // The aggregator survived the whole campaign and still serves.
+    let after = client
+        .solve(ServiceRequest::pcg(service_rhs(n, 999), 1e-8))
+        .expect("service must keep serving after the chaos campaign")
+        .into_solve()
+        .expect("solve response");
+    assert!(after.converged);
+
+    let m = svc.metrics();
+    assert_eq!(m.completed, healthy + 1);
+    assert_eq!(m.failed, isolated + stale);
+    assert_eq!(m.faults_isolated, isolated);
+    assert_eq!(m.stale_rejections, stale);
+}
+
+#[test]
+fn service_chaos_campaign_sweep_is_deterministic_and_panic_free() {
+    // Many seeds, the same contract: typed errors for the injected
+    // faults, completions for everything else, and a live aggregator at
+    // the end of every campaign.
+    let g = grid2d(8, 8, WeightProfile::Unit, 4);
+    let a = Arc::new(laplacian(&g, ShiftPolicy::Uniform(0.1)).expect("valid shift"));
+    let n = a.ncols();
+    for seed in 0..6u64 {
+        let svc = SolverService::start(ServiceConfig { max_batch_width: 3, ..Default::default() });
+        let old = svc.publish(ContextSpec::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        let cur = svc.publish(ContextSpec::new(Arc::clone(&a), Arc::clone(&a))).unwrap();
+        assert_ne!(old, cur, "re-publishing must advance the epoch");
+        let client = svc.client();
+        let mut plan = FaultPlan::new(seed);
+        let faults = plan.request_faults(9);
+        let reqs: Vec<ServiceRequest> = faults
+            .iter()
+            .enumerate()
+            .map(|(i, fault)| {
+                let b = service_rhs(n, seed * 100 + i as u64);
+                match fault {
+                    None => ServiceRequest::pcg(b, 1e-8),
+                    Some(RequestFault::NanRhs) => {
+                        let (bad, _) = plan.nan_rhs_entry(&b);
+                        ServiceRequest::pcg(bad, 1e-8)
+                    }
+                    Some(RequestFault::WrongLength) => {
+                        ServiceRequest::pcg(b[..n / 2].to_vec(), 1e-8)
+                    }
+                    Some(RequestFault::StaleEpoch) => ServiceRequest::pcg(b, 1e-8).pinned(old),
+                    Some(RequestFault::PanicClosure) => ServiceRequest::pcg_deferred(
+                        move || panic!("chaos sweep fault, seed {seed}, request {i}"),
+                        1e-8,
+                    ),
+                    Some(other) => panic!("unknown fault kind {other:?}"),
+                }
+            })
+            .collect();
+        for (i, (t, fault)) in client.submit_many(reqs).into_iter().zip(&faults).enumerate() {
+            match t.wait() {
+                Ok(resp) => {
+                    assert!(fault.is_none(), "seed {seed}: faulted request {i} succeeded");
+                    assert!(resp.into_solve().expect("solve response").converged);
+                }
+                Err(e) => {
+                    assert!(fault.is_some(), "seed {seed}: healthy request {i} failed: {e}");
+                }
+            }
+        }
+        assert!(
+            client.solve(ServiceRequest::pcg(service_rhs(n, 7), 1e-8)).is_ok(),
+            "seed {seed}: aggregator wedged"
+        );
     }
 }

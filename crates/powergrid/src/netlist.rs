@@ -1,5 +1,7 @@
 //! The power-grid circuit model and its MNA matrices.
 
+use std::sync::{Arc, OnceLock};
+
 use tracered_graph::laplacian::laplacian_with_shifts;
 use tracered_graph::Graph;
 use tracered_sparse::CscMatrix;
@@ -26,7 +28,18 @@ pub struct PowerGrid {
     capacitance: Vec<f64>,
     sources: Vec<CurrentSource>,
     vdd: f64,
+    /// Lazily assembled `G`, shared by every engine that borrows the
+    /// grid — the batch transient loops used to reassemble (and then
+    /// deep-clone) it on every call.
+    conductance: OnceLock<Arc<CscMatrix>>,
 }
+
+// Shared-handle audit: the service layer publishes `Arc<PowerGrid>` to
+// concurrent request handlers; the memoized matrix must not cost `Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PowerGrid>();
+};
 
 impl PowerGrid {
     /// Assembles a power grid.
@@ -56,7 +69,14 @@ impl PowerGrid {
         );
         assert!(sources.iter().all(|s| s.node < n), "source nodes must be in bounds");
         assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
-        PowerGrid { graph, pad_conductance, capacitance, sources, vdd }
+        PowerGrid {
+            graph,
+            pad_conductance,
+            capacitance,
+            sources,
+            vdd,
+            conductance: OnceLock::new(),
+        }
     }
 
     /// Number of nodes.
@@ -93,7 +113,20 @@ impl PowerGrid {
     /// the diagonal. This is the SDD system of DC analysis, and the matrix
     /// the graph sparsifier approximates.
     pub fn conductance_matrix(&self) -> CscMatrix {
-        laplacian_with_shifts(&self.graph, &self.pad_conductance)
+        (*self.conductance_shared()).clone()
+    }
+
+    /// The conductance matrix as a shared immutable handle, assembled on
+    /// first use and memoized. The transient engines and the service
+    /// layer borrow this instead of reassembling `G` per call; the
+    /// assembly is deterministic, so the cached matrix is bit-identical
+    /// to what [`PowerGrid::conductance_matrix`] used to rebuild.
+    pub fn conductance_shared(&self) -> Arc<CscMatrix> {
+        Arc::clone(
+            self.conductance.get_or_init(|| {
+                Arc::new(laplacian_with_shifts(&self.graph, &self.pad_conductance))
+            }),
+        )
     }
 
     /// The backward-Euler system matrix `G + C/h` for step size `h`.

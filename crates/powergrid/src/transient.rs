@@ -13,6 +13,7 @@
 //!   *sparsified* conductance matrix from DC analysis, warm-started from
 //!   the previous voltage vector.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tracered_solver::block::block_pcg_with_guess;
@@ -201,7 +202,7 @@ impl TransientResult {
 /// Returns [`SparseError::NotPositiveDefinite`] if the grid has no pads
 /// (floating network).
 pub fn dc_operating_point(pg: &PowerGrid) -> Result<Vec<f64>, SparseError> {
-    let g = pg.conductance_matrix();
+    let g = pg.conductance_shared();
     let solver = DirectSolver::new(&g)?;
     Ok(solver.solve(&pg.dc_rhs()))
 }
@@ -215,7 +216,7 @@ fn dc_points_batch_threads(
     threads: usize,
 ) -> Result<MultiVec, SparseError> {
     let n = pg.num_nodes();
-    let g = pg.conductance_matrix();
+    let g = pg.conductance_shared();
     let solver = DirectSolver::new_threads(&g, threads)?;
     let mut b = MultiVec::zeros(n, scenarios.len());
     for (col, sc) in b.cols_mut().zip(scenarios.iter()) {
@@ -354,7 +355,7 @@ pub fn simulate_direct_batch(
     let a = system_matrix(pg, h, cfg.scheme);
     let solver = DirectSolver::new_threads(&a, cfg.factor_threads.max(1))?;
     let factor_time = t_factor.elapsed();
-    let g_matrix = pg.conductance_matrix();
+    let g_matrix = pg.conductance_shared();
 
     let mut v = dc_points_batch_threads(pg, scenarios, cfg.factor_threads.max(1))?;
     let mut rhs = MultiVec::zeros(n, k);
@@ -439,7 +440,7 @@ pub fn simulate_direct_varied(
     assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
     let waveforms: Vec<_> = pg.sources().iter().map(|s| s.waveform).collect();
     let grid = merged_time_grid(&waveforms, cfg.t_end, cfg.max_step);
-    let g_matrix = pg.conductance_matrix();
+    let g_matrix = pg.conductance_shared();
 
     let mut v = dc_operating_point(pg)?;
     let mut rhs = vec![0.0; n];
@@ -601,16 +602,17 @@ pub fn simulate_pcg_batch(
         max_iterations: 10_000,
         threads: cfg.threads.max(1),
     };
-    let g_matrix = pg.conductance_matrix();
-    // For the trapezoidal rule the step matrix is G/2 + C/h.
+    let g_matrix = pg.conductance_shared();
+    // For the trapezoidal rule the step matrix is G/2 + C/h; backward
+    // Euler shares the memoized G outright instead of deep-cloning it.
     let g_for_system = match cfg.scheme {
-        IntegrationScheme::BackwardEuler => g_matrix.clone(),
+        IntegrationScheme::BackwardEuler => Arc::clone(&g_matrix),
         IntegrationScheme::Trapezoidal => {
-            let mut half = g_matrix.clone();
+            let mut half = (*g_matrix).clone();
             for val in half.values_mut() {
                 *val *= 0.5;
             }
-            half
+            Arc::new(half)
         }
     };
     let cap = pg.capacitance();
@@ -888,15 +890,15 @@ pub fn simulate_pcg_batch_outcomes(
         max_iterations: 10_000,
         threads: cfg.threads.max(1),
     };
-    let g_matrix = pg.conductance_matrix();
+    let g_matrix = pg.conductance_shared();
     let g_for_system = match cfg.scheme {
-        IntegrationScheme::BackwardEuler => g_matrix.clone(),
+        IntegrationScheme::BackwardEuler => Arc::clone(&g_matrix),
         IntegrationScheme::Trapezoidal => {
-            let mut half = g_matrix.clone();
+            let mut half = (*g_matrix).clone();
             for val in half.values_mut() {
                 *val *= 0.5;
             }
-            half
+            Arc::new(half)
         }
     };
     let cap = pg.capacitance();

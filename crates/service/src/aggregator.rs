@@ -1,0 +1,392 @@
+//! The aggregator thread: drain, group, batch, reply.
+//!
+//! One dedicated thread owns the request queue. Each cycle it takes the
+//! oldest pending request, derives its *compatibility key* (engine +
+//! tolerance bits for solves; the scenario family for simulations),
+//! gathers up to `max_batch_width` same-key requests — lingering at most
+//! `max_linger` for stragglers — and executes them as **one** blocked
+//! kernel invocation: [`tracered_solver::block_pcg`], a multi-RHS direct
+//! substitution, or
+//! [`tracered_powergrid::simulate_pcg_batch_outcomes`]. The aggregator
+//! only groups, routes and splits; the numerical contract (batched
+//! columns are bit-identical to solo columns at a fixed thread count)
+//! belongs to the kernels underneath.
+//!
+//! Fault isolation is structural: per-request faults (wrong length,
+//! non-finite entries, a panicking deferred closure, a stale epoch pin)
+//! are rejected with typed errors *before* the kernel runs, so their
+//! batch-mates proceed unaffected, and the kernel call itself is wrapped
+//! in `catch_unwind` so even a panicking solve fails its batch typed —
+//! the aggregator never wedges and never dies.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tracered_powergrid::transient::{simulate_pcg_batch_outcomes, SourceScenario};
+use tracered_solver::{block_pcg, PcgOptions, TerminationReason};
+use tracered_sparse::MultiVec;
+
+use crate::context::PublishedContext;
+use crate::metrics::ServiceMetrics;
+use crate::request::{
+    EngineKind, RequestKind, RhsSource, ServiceError, ServiceResponse, ServiceResult,
+    SimulateOutcome, SolveOutcome,
+};
+use crate::service::{Msg, Pending, ServiceConfig, Shared};
+
+/// Compatibility key: requests share a batch iff their keys are equal
+/// (and their pinned epochs, if any, match the current epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchKey {
+    Solve { engine: EngineKind, tol_bits: u64 },
+    Simulate,
+}
+
+fn batch_key(kind: &RequestKind) -> BatchKey {
+    match kind {
+        RequestKind::Solve { engine, tol_bits, .. } => {
+            BatchKey::Solve { engine: *engine, tol_bits: *tol_bits }
+        }
+        RequestKind::Simulate { .. } => BatchKey::Simulate,
+    }
+}
+
+/// Absorbs one channel message into the queue; `false` means shutdown.
+fn absorb(msg: Msg, queue: &mut VecDeque<Pending>) -> bool {
+    match msg {
+        Msg::One(p) => queue.push_back(p),
+        Msg::Many(ps) => queue.extend(ps),
+        Msg::Shutdown => return false,
+    }
+    true
+}
+
+fn reply_err(shared: &Shared, reply: &Sender<ServiceResult>, err: ServiceError) {
+    ServiceMetrics::bump(&shared.metrics.failed);
+    let _ = reply.send(Err(err));
+}
+
+fn reply_ok(shared: &Shared, reply: &Sender<ServiceResult>, resp: ServiceResponse) {
+    ServiceMetrics::bump(&shared.metrics.completed);
+    let _ = reply.send(Ok(resp));
+}
+
+/// The aggregator main loop. Exits when a [`Msg::Shutdown`] arrives (or
+/// every sender is gone), after first answering everything already
+/// queued.
+pub(crate) fn run(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServiceConfig) {
+    let mut queue: VecDeque<Pending> = VecDeque::new();
+    let mut open = true;
+    loop {
+        if queue.is_empty() {
+            if !open {
+                break;
+            }
+            match rx.recv() {
+                Ok(msg) => {
+                    if !absorb(msg, &mut queue) {
+                        open = false;
+                    }
+                }
+                Err(_) => open = false,
+            }
+            continue;
+        }
+
+        // Snapshot the published context once per batch: in-flight work
+        // finishes on this epoch even if a publish lands mid-solve.
+        let published = {
+            let state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.current.clone()
+        };
+        let Some(published) = published else {
+            // Nothing published: everything queued fails typed, now.
+            while let Some(p) = queue.pop_front() {
+                reply_err(&shared, &p.reply, ServiceError::NoContext);
+            }
+            continue;
+        };
+
+        // Head of the queue anchors the batch.
+        let Some(head) = queue.pop_front() else { continue };
+        if let Some(pinned) = head.pinned {
+            if pinned != published.epoch {
+                ServiceMetrics::bump(&shared.metrics.stale_rejections);
+                reply_err(
+                    &shared,
+                    &head.reply,
+                    ServiceError::StaleEpoch { pinned, current: published.epoch },
+                );
+                continue;
+            }
+        }
+        if matches!(head.kind, RequestKind::Simulate { .. }) && published.grid.is_none() {
+            reply_err(&shared, &head.reply, ServiceError::NoGridContext);
+            continue;
+        }
+
+        let key = batch_key(&head.kind);
+        let mut batch = vec![head];
+        let deadline = Instant::now() + cfg.max_linger;
+        loop {
+            // Pull compatible requests already waiting, in arrival
+            // order. Stale-pinned same-key requests fail here without
+            // occupying a batch slot.
+            let mut i = 0;
+            while i < queue.len() && batch.len() < cfg.max_batch_width {
+                if batch_key(&queue[i].kind) != key {
+                    i += 1;
+                    continue;
+                }
+                let Some(q) = queue.remove(i) else { break };
+                match q.pinned {
+                    Some(p) if p != published.epoch => {
+                        ServiceMetrics::bump(&shared.metrics.stale_rejections);
+                        reply_err(
+                            &shared,
+                            &q.reply,
+                            ServiceError::StaleEpoch { pinned: p, current: published.epoch },
+                        );
+                    }
+                    _ => batch.push(q),
+                }
+            }
+            if batch.len() >= cfg.max_batch_width || !open {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(msg) => {
+                    if !absorb(msg, &mut queue) {
+                        open = false;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => open = false,
+            }
+        }
+
+        if matches!(batch[0].kind, RequestKind::Simulate { .. }) {
+            execute_simulate_batch(batch, &published, &shared);
+        } else {
+            execute_solve_batch(batch, &published, &shared, &cfg);
+        }
+    }
+
+    // Refuse anything that slipped in after shutdown, typed.
+    while let Some(p) = queue.pop_front() {
+        reply_err(&shared, &p.reply, ServiceError::ServiceStopped);
+    }
+}
+
+fn execute_solve_batch(
+    batch: Vec<Pending>,
+    published: &PublishedContext,
+    shared: &Shared,
+    cfg: &ServiceConfig,
+) {
+    let ctx = &published.ctx;
+    let n = ctx.dimension();
+
+    // Materialize and vet every right-hand side. A faulted request is
+    // answered right here; survivors carry on into the blocked kernel.
+    let mut engine = EngineKind::Pcg;
+    let mut tol_bits = 0u64;
+    let mut survivors: Vec<(Sender<ServiceResult>, Vec<f64>)> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let Pending { kind, reply, .. } = p;
+        let RequestKind::Solve { rhs, engine: e, tol_bits: t } = kind else {
+            unreachable!("solve batches are homogeneous by construction");
+        };
+        engine = e;
+        tol_bits = t;
+        let rhs = match rhs {
+            RhsSource::Ready(v) => Ok(v),
+            RhsSource::Deferred(f) => {
+                catch_unwind(AssertUnwindSafe(f)).map_err(|_| ServiceError::RequestPanicked)
+            }
+        };
+        match rhs {
+            Err(e) => {
+                ServiceMetrics::bump(&shared.metrics.faults_isolated);
+                reply_err(shared, &reply, e);
+            }
+            Ok(v) if v.len() != n => {
+                ServiceMetrics::bump(&shared.metrics.faults_isolated);
+                reply_err(
+                    shared,
+                    &reply,
+                    ServiceError::WrongLength { expected: n, found: v.len() },
+                );
+            }
+            Ok(v) => match v.iter().position(|x| !x.is_finite()) {
+                Some(index) => {
+                    ServiceMetrics::bump(&shared.metrics.faults_isolated);
+                    reply_err(shared, &reply, ServiceError::NonFiniteRhs { index });
+                }
+                None => survivors.push((reply, v)),
+            },
+        }
+    }
+    if survivors.is_empty() {
+        return;
+    }
+
+    let width = survivors.len();
+    shared.metrics.record_batch(width);
+    let columns: Vec<&[f64]> = survivors.iter().map(|(_, v)| v.as_slice()).collect();
+    let b = match MultiVec::from_columns(&columns) {
+        Ok(b) => b,
+        Err(e) => {
+            for (reply, _) in &survivors {
+                reply_err(shared, reply, ServiceError::Solver(e.clone()));
+            }
+            return;
+        }
+    };
+
+    match engine {
+        EngineKind::Pcg => {
+            let opts = PcgOptions {
+                rel_tolerance: f64::from_bits(tol_bits),
+                max_iterations: cfg.max_iterations,
+                threads: cfg.solver_threads.max(1),
+            };
+            let sol = catch_unwind(AssertUnwindSafe(|| {
+                block_pcg(ctx.system(), &b, ctx.preconditioner(), &opts)
+            }));
+            match sol {
+                Ok(sol) => {
+                    for (j, (reply, _)) in survivors.iter().enumerate() {
+                        reply_ok(
+                            shared,
+                            reply,
+                            ServiceResponse::Solve(SolveOutcome {
+                                x: sol.x.col(j).to_vec(),
+                                iterations: sol.iterations[j],
+                                rel_residual: sol.rel_residual[j],
+                                converged: sol.converged[j],
+                                reason: sol.reasons[j],
+                                epoch: published.epoch,
+                                batch_width: width,
+                            }),
+                        );
+                    }
+                }
+                Err(_) => {
+                    for (reply, _) in &survivors {
+                        reply_err(shared, reply, ServiceError::BatchPanicked);
+                    }
+                }
+            }
+        }
+        EngineKind::Direct => {
+            let factor = match ctx.direct_factor() {
+                Ok(f) => f,
+                Err(e) => {
+                    for (reply, _) in &survivors {
+                        reply_err(shared, reply, ServiceError::Solver(e.clone()));
+                    }
+                    return;
+                }
+            };
+            let sol = catch_unwind(AssertUnwindSafe(|| factor.solve_multi(&b)));
+            match sol {
+                Ok(x) => {
+                    for (j, (reply, bj)) in survivors.iter().enumerate() {
+                        let xj = x.col(j);
+                        let r_inf = ctx.system().residual_inf_norm(xj, bj);
+                        let b_inf = bj.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                        let rel = if b_inf > 0.0 { r_inf / b_inf } else { r_inf };
+                        let finite = rel.is_finite() && xj.iter().all(|v| v.is_finite());
+                        reply_ok(
+                            shared,
+                            reply,
+                            ServiceResponse::Solve(SolveOutcome {
+                                x: xj.to_vec(),
+                                iterations: 0,
+                                rel_residual: rel,
+                                converged: finite,
+                                reason: if finite {
+                                    TerminationReason::Converged
+                                } else {
+                                    TerminationReason::NonFinite
+                                },
+                                epoch: published.epoch,
+                                batch_width: width,
+                            }),
+                        );
+                    }
+                }
+                Err(_) => {
+                    for (reply, _) in &survivors {
+                        reply_err(shared, reply, ServiceError::BatchPanicked);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn execute_simulate_batch(batch: Vec<Pending>, published: &PublishedContext, shared: &Shared) {
+    let Some(grid) = published.grid.as_deref() else {
+        // The head was vetted before batching and batch-mates share the
+        // same epoch snapshot, so this cannot happen; answer typed
+        // anyway rather than panic.
+        for p in batch {
+            reply_err(shared, &p.reply, ServiceError::NoGridContext);
+        }
+        return;
+    };
+    let scenarios: Vec<SourceScenario> = batch
+        .iter()
+        .map(|p| match &p.kind {
+            RequestKind::Simulate { scenario } => scenario.clone(),
+            RequestKind::Solve { .. } => {
+                unreachable!("simulate batches are homogeneous by construction")
+            }
+        })
+        .collect();
+    let width = batch.len();
+    shared.metrics.record_batch(width);
+    let outcomes = catch_unwind(AssertUnwindSafe(|| {
+        simulate_pcg_batch_outcomes(
+            &grid.grid,
+            &grid.transient,
+            published.ctx.preconditioner(),
+            &grid.probes,
+            &scenarios,
+        )
+    }));
+    match outcomes {
+        Ok(Ok(outcomes)) => {
+            for (p, outcome) in batch.iter().zip(outcomes) {
+                reply_ok(
+                    shared,
+                    &p.reply,
+                    ServiceResponse::Simulate(SimulateOutcome {
+                        outcome,
+                        epoch: published.epoch,
+                        batch_width: width,
+                    }),
+                );
+            }
+        }
+        Ok(Err(e)) => {
+            for p in &batch {
+                reply_err(shared, &p.reply, ServiceError::Solver(e.clone()));
+            }
+        }
+        Err(_) => {
+            for p in &batch {
+                reply_err(shared, &p.reply, ServiceError::BatchPanicked);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Published contexts, the factor cache, and epochs.
+//!
+//! A [`ContextSpec`] is what a caller hands to
+//! [`crate::SolverService::publish`]: the system matrix, the matrix to
+//! precondition with, an opaque configuration tag, and optionally a
+//! power-grid attachment for transient requests. Publishing builds (or
+//! retrieves from the cache) an immutable [`tracered_solver::SolverContext`]
+//! and atomically installs it as the *current epoch*; in-flight batches
+//! keep solving against the `Arc` snapshot of the epoch they started
+//! with, so a topology swap never tears a running solve.
+//!
+//! The cache is keyed by `(system fingerprint, preconditioner
+//! fingerprint, config tag)` — re-publishing a previously seen topology
+//! (e.g. flipping back after an ECO experiment) reuses the factorization
+//! instead of paying it again.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tracered_powergrid::transient::TransientConfig;
+use tracered_powergrid::PowerGrid;
+use tracered_solver::SolverContext;
+use tracered_sparse::CscMatrix;
+
+/// Grid attachment of a published context: everything a
+/// [`crate::ServiceRequest::simulate`] request needs besides the
+/// scenario itself.
+#[derive(Clone)]
+pub struct GridContext {
+    /// The shared power grid (its conductance matrix is memoized inside
+    /// [`PowerGrid`], so batches never re-assemble it).
+    pub grid: Arc<PowerGrid>,
+    /// Transient options shared by every simulate request of the epoch
+    /// (step control, scheme, tolerances, thread counts).
+    pub transient: TransientConfig,
+    /// Probe nodes whose waveforms simulate responses carry.
+    pub probes: Vec<usize>,
+}
+
+/// What [`crate::SolverService::publish`] installs: the immutable inputs
+/// of one context epoch.
+pub struct ContextSpec {
+    /// The system matrix solve requests run against.
+    pub system: Arc<CscMatrix>,
+    /// The matrix the preconditioner is factorized from (often a
+    /// sparsifier Laplacian of `system`; may be `system` itself).
+    pub precond_matrix: Arc<CscMatrix>,
+    /// Opaque tag folded into the cache key — distinct sparsifier
+    /// configurations must carry distinct tags (e.g.
+    /// [`tracered_core::SparsifyConfig::fingerprint`]) so their factors
+    /// never collide in the cache.
+    ///
+    /// [`tracered_core::SparsifyConfig::fingerprint`]: https://docs.rs/tracered-core
+    pub config_tag: u64,
+    /// Optional grid attachment enabling simulate requests.
+    pub grid: Option<GridContext>,
+}
+
+impl ContextSpec {
+    /// A spec with no grid attachment and a zero config tag.
+    pub fn new(system: Arc<CscMatrix>, precond_matrix: Arc<CscMatrix>) -> Self {
+        ContextSpec { system, precond_matrix, config_tag: 0, grid: None }
+    }
+
+    /// Sets the cache-key configuration tag.
+    pub fn with_tag(mut self, config_tag: u64) -> Self {
+        self.config_tag = config_tag;
+        self
+    }
+
+    /// Attaches a grid context, enabling simulate requests.
+    pub fn with_grid(mut self, grid: GridContext) -> Self {
+        self.grid = Some(grid);
+        self
+    }
+}
+
+/// Cache key of a built solver context. Thread counts are deliberately
+/// absent: the factorization kernels are bit-identical at every thread
+/// count, so contexts built at different parallelism share a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub system_fp: u64,
+    pub precond_fp: u64,
+    pub config_tag: u64,
+}
+
+/// One published epoch: the built context, its optional grid attachment,
+/// and the epoch number. Cloned (cheaply — everything is `Arc`'d) by the
+/// aggregator as the per-batch snapshot.
+#[derive(Clone)]
+pub(crate) struct PublishedContext {
+    pub ctx: Arc<SolverContext>,
+    pub grid: Option<Arc<GridContext>>,
+    pub epoch: u64,
+}
+
+/// Mutable service state behind the one mutex: the current epoch and the
+/// factor cache. The mutex is held only for pointer-sized reads/writes —
+/// factorizations happen outside it.
+#[derive(Default)]
+pub(crate) struct EpochState {
+    pub current: Option<PublishedContext>,
+    pub epoch: u64,
+    pub cache: HashMap<CacheKey, Arc<SolverContext>>,
+}

@@ -1,0 +1,76 @@
+//! Solver-as-a-service: async request aggregation over shared immutable
+//! factors.
+//!
+//! The batch programs of this workspace (`robust_solve`, the transient
+//! ensemble engines) assume one caller that owns its matrices and knows
+//! its full workload up front. Interactive power-grid analysis is shaped
+//! differently: many concurrent producers — an IR-drop what-if loop, a
+//! vectorless verification sweep, an incremental ECO checker — fire
+//! single solves against *one* shared topology, and the expensive state
+//! (the sparsifier, its Cholesky factor, the preconditioner) must be
+//! paid once and reused by everyone. This crate is that long-running
+//! front-end.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  ServiceClient ─┐   mpsc    ┌────────────┐  compatible   ┌──────────────┐
+//!  ServiceClient ─┼──────────▶│ aggregator │──batches of──▶│  block_pcg / │
+//!  ServiceClient ─┘  requests │  (thread)  │  ≤ W requests │  solve_multi │
+//!                             └────────────┘               │  / simulate  │
+//!        ▲                          │                      └──────────────┘
+//!        │ Ticket (typed result)    │ snapshot per batch          │
+//!        └──────────────────────────┴─── Arc<SolverContext> ◀─────┘
+//!                                        (epoch-published, cached)
+//! ```
+//!
+//! Three design rules keep the service honest:
+//!
+//! 1. **Batching never changes arithmetic.** Requests share a batch only
+//!    when their compatibility key (engine + bit-exact tolerance) and
+//!    epoch match, and the blocked kernels underneath run each column
+//!    through an independent recurrence — a batched response is
+//!    bit-identical to the one-at-a-time response at the same thread
+//!    count. The `service_batching` test suite pins this.
+//! 2. **Faults are per-request.** A NaN right-hand side, a wrong-length
+//!    vector, a panicking closure, or a stale epoch pin fails *that*
+//!    request with a typed [`ServiceError`]; batch-mates complete
+//!    unaffected and the aggregator keeps serving.
+//! 3. **Topology swaps are epochs.** [`SolverService::publish`]
+//!    atomically installs a new context (factor cache keyed by matrix
+//!    fingerprints + config tag); in-flight batches finish on the epoch
+//!    snapshot they started with, and requests pinned to an old epoch
+//!    are refused rather than silently re-targeted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+mod aggregator;
+pub mod context;
+pub mod metrics;
+pub mod request;
+pub mod service;
+
+pub use context::{ContextSpec, GridContext};
+pub use metrics::MetricsSnapshot;
+pub use request::{
+    EngineKind, ServiceError, ServiceRequest, ServiceResponse, ServiceResult, SimulateOutcome,
+    SolveOutcome, Ticket,
+};
+pub use service::{ServiceClient, ServiceConfig, SolverService};
+
+// Shared-handle audit: the whole point of the crate is that these cross
+// threads freely.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SolverService>();
+    assert_send_sync::<ServiceClient>();
+    assert_send_sync::<ContextSpec>();
+    assert_send_sync::<MetricsSnapshot>();
+};
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ServiceRequest>();
+    assert_send::<Ticket>();
+};

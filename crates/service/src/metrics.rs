@@ -1,0 +1,104 @@
+//! Lock-free service counters.
+//!
+//! Every interesting event in the service — a submission, a batch, a
+//! cache hit, an isolated fault — bumps a relaxed atomic here. The
+//! aggregator publishes through these counters and never blocks on them;
+//! [`MetricsSnapshot`] is the consistent-enough view handed to callers
+//! and to the `service_scaling` benchmark.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters (one instance lives in the service's shared
+/// state; all threads bump it with relaxed ordering).
+#[derive(Debug, Default)]
+pub(crate) struct ServiceMetrics {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub max_batch_width: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub stale_rejections: AtomicU64,
+    pub faults_isolated: AtomicU64,
+    pub publishes: AtomicU64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, executed_width: usize) {
+        Self::bump(&self.batches);
+        Self::add(&self.batched_requests, executed_width as u64);
+        self.max_batch_width.fetch_max(executed_width as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch_width: self.max_batch_width.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
+            faults_isolated: self.faults_isolated.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters. Counters are bumped
+/// with relaxed atomics; a snapshot taken while requests are in flight
+/// is approximate, one taken after the relevant tickets resolved is
+/// exact for those requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsSnapshot {
+    /// Requests accepted by a [`crate::ServiceClient`].
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with a typed [`crate::ServiceError`].
+    pub failed: u64,
+    /// Batched kernel invocations (width ≥ 1 each).
+    pub batches: u64,
+    /// Requests that went through a batched kernel (faulted requests
+    /// rejected before the kernel are not counted).
+    pub batched_requests: u64,
+    /// Widest batch executed so far.
+    pub max_batch_width: u64,
+    /// Context publishes that reused a cached factorization.
+    pub cache_hits: u64,
+    /// Context publishes that had to factorize.
+    pub cache_misses: u64,
+    /// Requests rejected because their pinned epoch was no longer
+    /// current.
+    pub stale_rejections: u64,
+    /// Per-request faults (bad RHS, panicking closure, stale pin)
+    /// isolated without disturbing batch-mates.
+    pub faults_isolated: u64,
+    /// Contexts published over the service lifetime.
+    pub publishes: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean executed batch width — the aggregation payoff the
+    /// `service_scaling` benchmark sweeps (`> 1` means requests actually
+    /// shared kernels).
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}

@@ -16,7 +16,11 @@
 //! - [`termination`]: the classified [`TerminationReason`] taxonomy every
 //!   iterative solve reports instead of silently breaking down;
 //! - [`robust`]: the [`robust_solve`] escalation chain — PCG → refreshed
-//!   boosted preconditioner → direct solve, with per-attempt diagnostics.
+//!   boosted preconditioner → direct solve, with per-attempt diagnostics;
+//! - [`context`]: `Arc`-shared immutable solver contexts
+//!   ([`SolverContext`]) and the context-reusing [`robust_solve_shared`]
+//!   — factorize once, serve many; the ownership layer under
+//!   `tracered-service`.
 //!
 //! # Example
 //!
@@ -43,6 +47,8 @@
 
 #[warn(clippy::unwrap_used)]
 pub mod block;
+#[warn(clippy::unwrap_used)]
+pub mod context;
 pub mod direct;
 pub mod eigen;
 #[warn(clippy::unwrap_used)]
@@ -53,6 +59,7 @@ pub mod robust;
 pub mod termination;
 
 pub use block::{block_pcg, block_pcg_with_guess, BlockPcgSolution};
+pub use context::{robust_solve_shared, SolverContext};
 pub use direct::DirectSolver;
 pub use pcg::{pcg, PcgOptions, PcgSolution};
 pub use precond::{

@@ -639,6 +639,38 @@ impl CscMatrix {
             + self.rowidx.len() * std::mem::size_of::<usize>()
             + self.values.len() * std::mem::size_of::<f64>()
     }
+
+    /// A 64-bit content fingerprint: FNV-1a over the shape, the sparsity
+    /// structure, and the exact bit patterns of the stored values.
+    ///
+    /// Two matrices fingerprint equal iff they have identical dimensions,
+    /// `colptr`/`rowidx` arrays, and bit-identical values (`0.0` and
+    /// `-0.0` hash differently, as do distinct NaN payloads). Used by the
+    /// service layer's factor cache to key factorizations by matrix
+    /// content without retaining the matrix itself.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.nrows as u64);
+        mix(self.ncols as u64);
+        for &p in &self.colptr {
+            mix(p as u64);
+        }
+        for &r in &self.rowidx {
+            mix(r as u64);
+        }
+        for &v in &self.values {
+            mix(v.to_bits());
+        }
+        h
+    }
 }
 
 impl From<&CooMatrix> for CscMatrix {
@@ -962,5 +994,24 @@ mod tests {
                 assert_eq!(d[(r, c)], a.get(r, c));
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let a = small();
+        assert_eq!(a.fingerprint(), small().fingerprint(), "deterministic");
+        // A value change, a structure change, and a shape change all move
+        // the fingerprint.
+        let mut bumped = a.clone();
+        bumped.values_mut()[0] = f64::from_bits(bumped.values()[0].to_bits() + 1);
+        assert_ne!(a.fingerprint(), bumped.fingerprint());
+        assert_ne!(a.fingerprint(), CscMatrix::identity(3).fingerprint());
+        assert_ne!(CscMatrix::zeros(3, 3).fingerprint(), CscMatrix::zeros(4, 4).fingerprint());
+        // Signed zeros are distinct bit patterns on purpose.
+        let mut pos = a.clone();
+        pos.values_mut()[0] = 0.0;
+        let mut neg = a;
+        neg.values_mut()[0] = -0.0;
+        assert_ne!(pos.fingerprint(), neg.fingerprint());
     }
 }

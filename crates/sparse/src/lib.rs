@@ -78,3 +78,15 @@ pub use regularize::{
     RegularizedFactor,
 };
 pub use spai::{ApproxInverse, SpaiOptions};
+
+// Shared-handle audit: the service layer hands `Arc`'d matrices and
+// factors to concurrent request handlers, so the core storage types must
+// stay `Send + Sync`. A field of interior mutability or a raw pointer
+// added later breaks the build here, not in production.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CscMatrix>();
+    assert_send_sync::<CholeskyFactor>();
+    assert_send_sync::<MultiVec>();
+    assert_send_sync::<BoostSchedule>();
+};
