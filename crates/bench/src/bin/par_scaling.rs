@@ -33,9 +33,17 @@
 //! Scores are bit-identical across thread counts (verified here too);
 //! only wall-clock time changes.
 //!
+//! `--obs-out <path>` re-runs the factorization and a PCG solve once at
+//! the highest thread count with tracing enabled and writes an
+//! observability record there: the recorder's span/instrument snapshot
+//! plus the numeric-phase decomposition the spans make visible — how
+//! much of `chol.numeric` is the serial tail (`chol.numeric.tail`)
+//! versus parallel subtree jobs. Under `--check` the traced factor must
+//! be bit-identical to an untraced one.
+//!
 //! Usage: `cargo run --release -p tracered-bench --bin par_scaling --
 //! [--scale 1.0] [--threads 1,2,4,8] [--full] [--out BENCH_pr4.json]
-//! [--factor-out BENCH_pr5.json] [--check]`
+//! [--factor-out BENCH_pr5.json] [--obs-out OBS.json] [--check]`
 
 use std::time::Instant;
 
@@ -60,6 +68,7 @@ struct Args {
     full: bool,
     out: String,
     factor_out: String,
+    obs_out: Option<String>,
     check: bool,
 }
 
@@ -70,6 +79,7 @@ fn parse_args() -> Args {
         full: false,
         out: "BENCH_pr4.json".to_string(),
         factor_out: "BENCH_pr5.json".to_string(),
+        obs_out: None,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -91,6 +101,7 @@ fn parse_args() -> Args {
             "--full" => args.full = true,
             "--out" => args.out = it.next().expect("--out requires a path"),
             "--factor-out" => args.factor_out = it.next().expect("--factor-out requires a path"),
+            "--obs-out" => args.obs_out = Some(it.next().expect("--obs-out requires a path")),
             "--check" => args.check = true,
             other => panic!("unknown argument '{other}'"),
         }
@@ -398,6 +409,81 @@ fn main() {
     write_bench_json(&args.factor_out, &factor_records)
         .expect("writing the factor bench JSON must succeed");
     println!("wrote {} records to {}", factor_records.len(), args.factor_out);
+
+    // --- Traced representative run (--obs-out). ---
+    // One factorization + one PCG solve at the highest thread count with
+    // the recorder on: the spans decompose `chol.numeric` into parallel
+    // subtree jobs and the serial tail, quantifying the Amdahl ceiling
+    // the factor_scaling speedups run into.
+    if let Some(obs_path) = &args.obs_out {
+        let tmax = *args.threads.iter().max().expect("threads are non-empty");
+        let baseline =
+            CholeskyFactor::factorize_threads(&lg, Ordering::MinDegree, tmax).expect("SPD");
+
+        let recorder = tracered_obs::recorder();
+        recorder.reset();
+        tracered_obs::set_enabled(true);
+        let traced =
+            CholeskyFactor::factorize_threads(&lg, Ordering::MinDegree, tmax).expect("SPD");
+        let sol = pcg(&lg, &b, &pre, &PcgOptions::with_tolerance(1e-3).threads(tmax));
+        tracered_obs::set_enabled(false);
+        assert!(sol.converged, "traced PCG must converge");
+
+        if args.check {
+            assert!(
+                traced
+                    .l()
+                    .values()
+                    .iter()
+                    .zip(baseline.l().values().iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "traced factor differs from untraced factor — tracing is not transparent"
+            );
+        }
+
+        let trace = recorder.trace();
+        let factor_s = trace.span_total("chol.factorize").as_secs_f64();
+        let symbolic_s = trace.span_total("chol.symbolic").as_secs_f64();
+        let schedule_s = trace.span_total("chol.schedule").as_secs_f64();
+        let numeric_s = trace.span_total("chol.numeric").as_secs_f64();
+        let tail_s = trace.span_total("chol.numeric.tail").as_secs_f64();
+        // Job time is summed across workers, so it can exceed the
+        // numeric phase's wall time — that excess *is* the parallelism.
+        let jobs_s = trace.span_total("chol.numeric.job").as_secs_f64();
+        let tail_fraction = tail_s / numeric_s.max(f64::MIN_POSITIVE);
+        let snapshot = recorder.snapshot_json();
+        tracered_obs::validate_json(&snapshot).expect("obs snapshot must be valid JSON");
+
+        let obs_rec = BenchRecord::new()
+            .str("bench", "par_scaling_obs")
+            .str("case", "grid2d-log")
+            .str("ordering", "MinDegree")
+            .int("nodes", n as i64)
+            .int("edges", m as i64)
+            .int("threads", tmax as i64)
+            .int("factor_nnz", traced.nnz() as i64)
+            .num("factor_seconds", factor_s)
+            .num("symbolic_seconds", symbolic_s)
+            .num("schedule_seconds", schedule_s)
+            .num("numeric_seconds", numeric_s)
+            .num("numeric_tail_seconds", tail_s)
+            .num("numeric_job_seconds_summed", jobs_s)
+            .num("serial_tail_fraction", tail_fraction)
+            .int("numeric_jobs", trace.span_count("chol.numeric.job") as i64)
+            .num("pcg_seconds", trace.span_total("pcg.solve").as_secs_f64())
+            .int("pcg_iterations", sol.iterations as i64)
+            .raw_json("obs", snapshot);
+        write_bench_json(obs_path, &[obs_rec]).expect("writing the obs JSON must succeed");
+        println!(
+            "obs: numeric {:.3}s = jobs {:.3}s (summed over workers) + tail {:.3}s \
+             (serial-tail fraction {:.0}%); wrote {obs_path}",
+            numeric_s,
+            jobs_s,
+            tail_s,
+            tail_fraction * 100.0,
+        );
+        recorder.reset();
+    }
 }
 
 /// The PR 1–3 runtime, kept verbatim as the microbench baseline: chunk

@@ -14,14 +14,23 @@
 //!   quantiles.
 //!
 //! `--check` additionally asserts the service's arithmetic contract —
-//! micro-batched responses bit-identical to one-at-a-time responses —
-//! and that the widest sweep cell at the highest offered rate actually
-//! aggregated (`mean_batch_width > 1`).
+//! micro-batched responses bit-identical to one-at-a-time responses,
+//! with and without tracing enabled — and that the widest sweep cell at
+//! the highest offered rate actually aggregated (`mean_batch_width > 1`).
+//!
+//! `--obs-out <path>` re-runs the heaviest cell once with tracing
+//! enabled and writes an observability record there: the recorder's
+//! span/instrument snapshot, the per-request latency decomposition
+//! (queue / linger / kernel fractions), and the live histogram
+//! p50/p99 next to the collector-side quantiles. Under `--check` the
+//! live and collector quantiles must agree within histogram bucket
+//! resolution plus scheduler-wakeup slack (the collector stamps after
+//! `Ticket::wait` returns, the live histogram at reply time).
 //!
 //! Usage: `cargo run --release -p tracered-bench --bin service_scaling --
 //! [--mesh 24] [--rates 5000,20000,100000] [--widths 1,4,8]
 //! [--requests 96] [--threads 1] [--tol 1e-8] [--out BENCH_pr7.json]
-//! [--check]`
+//! [--obs-out OBS.json] [--check]`
 
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -43,6 +52,7 @@ struct Args {
     threads: usize,
     tol: f64,
     out: String,
+    obs_out: Option<String>,
     check: bool,
 }
 
@@ -55,6 +65,7 @@ fn parse_args() -> Args {
         threads: 1,
         tol: 1e-8,
         out: "BENCH_pr7.json".to_string(),
+        obs_out: None,
         check: false,
     };
     let parse_list = |spec: String| -> Vec<usize> {
@@ -92,6 +103,7 @@ fn parse_args() -> Args {
                     .expect("--tol requires a positive tolerance");
             }
             "--out" => args.out = it.next().expect("--out requires a path"),
+            "--obs-out" => args.obs_out = Some(it.next().expect("--obs-out requires a path")),
             "--check" => args.check = true,
             other => panic!("unknown argument '{other}'"),
         }
@@ -143,6 +155,15 @@ fn service_config(width: usize, threads: usize) -> ServiceConfig {
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx]
+}
+
+/// Ceil nearest-rank quantile — the same convention the live
+/// [`tracered_obs::Histogram`] uses, so the `--obs-out` comparison is
+/// convention-for-convention.
+fn rank_quantile(sorted: &[f64], q: f64) -> f64 {
+    let len = sorted.len();
+    let target = ((q * len as f64).ceil() as usize).clamp(1, len);
+    sorted[target - 1]
 }
 
 fn main() {
@@ -282,10 +303,146 @@ fn main() {
                 ));
             }
         }
+
+        // Tracing gate: enabling the recorder must not change a single
+        // bit of any response (span guards only read clocks).
+        let req = || ServiceRequest::pcg(request_rhs(n, 999), args.tol);
+        let plain =
+            solo.client().solve(req()).expect("healthy request").into_solve().expect("solve");
+        tracered_obs::set_enabled(true);
+        let traced =
+            solo.client().solve(req()).expect("healthy request").into_solve().expect("solve");
+        tracered_obs::set_enabled(false);
+        tracered_obs::recorder().reset();
+        let identical = plain.x.len() == traced.x.len()
+            && plain.x.iter().zip(&traced.x).all(|(a, b)| a.to_bits() == b.to_bits())
+            && plain.iterations == traced.iterations;
+        if !identical {
+            check_failures
+                .push("tracing-enabled response differs from tracing-disabled response".into());
+        }
     }
 
     write_bench_json(&args.out, &records).expect("writing the bench JSON must succeed");
     println!("wrote {} records to {}", records.len(), args.out);
+
+    // --- Traced representative run (--obs-out). ---
+    // One more pass over the heaviest cell with the recorder on: where
+    // does a request's latency actually go (queueing vs lingering vs the
+    // blocked kernel), and do the service's live histograms agree with
+    // the collector's ground truth?
+    if let Some(obs_path) = &args.obs_out {
+        let recorder = tracered_obs::recorder();
+        recorder.reset();
+        tracered_obs::set_enabled(true);
+
+        let svc = SolverService::start(service_config(max_width, args.threads));
+        svc.publish(spec()).expect("publishing the bench context must succeed");
+        let client = svc.client();
+        let (tx, rx) = mpsc::channel::<(Instant, Ticket)>();
+        let collector = thread::spawn(move || {
+            let mut latencies: Vec<f64> = Vec::new();
+            for (t_submit, ticket) in rx {
+                let out = ticket
+                    .wait()
+                    .expect("bench requests are healthy")
+                    .into_solve()
+                    .expect("solve response");
+                assert!(out.converged, "bench solve must converge");
+                latencies.push(t_submit.elapsed().as_secs_f64());
+            }
+            latencies
+        });
+        let mut rng = 0x0b5e_0000_0000_0008u64 ^ (max_rate as u64) << 8;
+        for i in 0..args.requests {
+            let req = ServiceRequest::pcg(request_rhs(n, i as u64), args.tol);
+            let _ = tx.send((Instant::now(), client.submit(req)));
+            thread::sleep(Duration::from_secs_f64(exp_gap(&mut rng, max_rate as f64)));
+        }
+        drop(tx);
+        let mut latencies = collector.join().expect("collector thread must not panic");
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let m = svc.metrics();
+        svc.shutdown();
+        tracered_obs::set_enabled(false);
+
+        let trace = recorder.trace();
+        let batches = (m.batches as f64).max(1.0);
+        let mean_latency = m.latency.mean_s.max(f64::MIN_POSITIVE);
+        // Per-batch means: a request's latency contains its batch's
+        // linger + kernel once, plus time queued before batch assembly.
+        let mean_linger = trace.span_total("service.linger").as_secs_f64() / batches;
+        let mean_kernel = trace.span_total("service.kernel").as_secs_f64() / batches;
+        let linger_fraction = (mean_linger / mean_latency).min(1.0);
+        let kernel_fraction = (mean_kernel / mean_latency).min(1.0);
+        let queue_fraction = (1.0 - linger_fraction - kernel_fraction).max(0.0);
+        let coll_p50 = rank_quantile(&latencies, 0.50);
+        let coll_p99 = rank_quantile(&latencies, 0.99);
+        let snapshot = recorder.snapshot_json();
+        tracered_obs::validate_json(&snapshot).expect("obs snapshot must be valid JSON");
+
+        let obs_rec = BenchRecord::new()
+            .str("bench", "service_scaling_obs")
+            .str("case", "synth-grid")
+            .int("mesh", args.mesh as i64)
+            .int("nodes", n as i64)
+            .int("offered_rate_rps", max_rate as i64)
+            .int("max_batch_width", max_width as i64)
+            .int("requests", args.requests as i64)
+            .int("threads", args.threads as i64)
+            .int("batches", m.batches as i64)
+            .int("max_queue_depth", m.max_queue_depth as i64)
+            .num("mean_batch_width", m.mean_batch_width())
+            .num("mean_latency_s", m.latency.mean_s)
+            .num("mean_linger_s", mean_linger)
+            .num("mean_kernel_s", mean_kernel)
+            .num("queue_fraction", queue_fraction)
+            .num("linger_fraction", linger_fraction)
+            .num("kernel_fraction", kernel_fraction)
+            .num("live_p50_s", m.latency.p50_s)
+            .num("live_p99_s", m.latency.p99_s)
+            .num("collector_p50_s", coll_p50)
+            .num("collector_p99_s", coll_p99)
+            .raw_json("obs", snapshot);
+        write_bench_json(obs_path, &[obs_rec]).expect("writing the obs JSON must succeed");
+        println!(
+            "obs: latency mean {:.1}µs = queue {:.0}% + linger {:.0}% + kernel {:.0}%; \
+             live p50 {:.1}µs vs collector {:.1}µs (wrote {obs_path})",
+            m.latency.mean_s * 1e6,
+            queue_fraction * 100.0,
+            linger_fraction * 100.0,
+            kernel_fraction * 100.0,
+            m.latency.p50_s * 1e6,
+            coll_p50 * 1e6,
+        );
+        recorder.reset();
+
+        // Agreement gate: the live histogram observes reply-time stamps,
+        // the collector stamps after `Ticket::wait` returns, so allow
+        // one histogram bucket (~9%) compounded with scheduler-wakeup
+        // slack: a factor of 1.5 plus 500µs absolute.
+        if args.check {
+            let agree = |live: f64, coll: f64| -> bool {
+                let slack = 500e-6;
+                live <= coll * 1.5 + slack && coll <= live * 1.5 + slack
+            };
+            if !agree(m.latency.p50_s, coll_p50) {
+                check_failures.push(format!(
+                    "live p50 {:.1}µs disagrees with collector p50 {:.1}µs",
+                    m.latency.p50_s * 1e6,
+                    coll_p50 * 1e6
+                ));
+            }
+            if !agree(m.latency.p99_s, coll_p99) {
+                check_failures.push(format!(
+                    "live p99 {:.1}µs disagrees with collector p99 {:.1}µs",
+                    m.latency.p99_s * 1e6,
+                    coll_p99 * 1e6
+                ));
+            }
+        }
+    }
+
     if !check_failures.is_empty() {
         panic!("service scaling check failed: {}", check_failures.join("; "));
     }

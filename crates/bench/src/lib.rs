@@ -239,6 +239,10 @@ pub enum JsonValue {
     Int(i64),
     /// A float field (serialized with full precision; non-finite → null).
     Num(f64),
+    /// A pre-serialized JSON document embedded verbatim (used to nest an
+    /// observability snapshot inside a record). The caller is
+    /// responsible for its well-formedness.
+    Raw(String),
 }
 
 impl BenchRecord {
@@ -270,6 +274,15 @@ impl BenchRecord {
         self.num(key, d.as_secs_f64())
     }
 
+    /// Embeds an already-serialized JSON document (object or array)
+    /// verbatim under `key` — the hook the scaling benches use to nest
+    /// a [`tracered_obs`] snapshot inside their record. The value must
+    /// be well-formed JSON; it is not escaped or validated here.
+    pub fn raw_json(mut self, key: &str, json: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Raw(json.into())));
+        self
+    }
+
     fn write_json(&self, out: &mut String) {
         out.push('{');
         for (i, (k, v)) in self.fields.iter().enumerate() {
@@ -288,6 +301,7 @@ impl BenchRecord {
                 JsonValue::Int(n) => out.push_str(&n.to_string()),
                 JsonValue::Num(x) if x.is_finite() => out.push_str(&format!("{x:?}")),
                 JsonValue::Num(_) => out.push_str("null"),
+                JsonValue::Raw(j) => out.push_str(j),
             }
         }
         out.push('}');

@@ -28,7 +28,9 @@
 //! per-partition runs are independent jobs with disjoint outputs, and
 //! every scoring kernel is bit-identical across thread counts.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use tracered_obs::Timer;
 
 use tracered_graph::laplacian::ShiftPolicy;
 use tracered_graph::lca::tree_resistances_threads;
@@ -354,10 +356,15 @@ pub fn sparsify_partitioned(
     }
     let threads = tracered_par::effective_threads(cfg.base.threads_value());
     let factor_threads = tracered_par::effective_threads(cfg.base.factor_threads_value());
-    let t_start = Instant::now();
+    // Timers feed the report fields below and double as spans when
+    // tracing is on — the report and the trace share one measurement.
+    let t_start = Timer::start_with(
+        "partitioned.sparsify",
+        &[("n", n as f64), ("parts", cfg.parts.min(n) as f64)],
+    );
 
     // --- Decompose. ---
-    let t0 = Instant::now();
+    let t0 = Timer::start("partitioned.partition");
     let k = cfg.parts.min(n);
     let kw =
         recursive_bisection_threads(g, k, cfg.fiedler_steps, cfg.base.seed_value(), factor_threads)
@@ -365,7 +372,7 @@ pub fn sparsify_partitioned(
     let subs = kw.extract_subgraphs(g);
     let cut = kw.edge_cut(g);
     let balance_ratio = kw.balance_ratio();
-    let partition_time = t0.elapsed();
+    let partition_time = t0.stop();
 
     let shifts = cfg.base.shift_value().shifts(g)?;
 
@@ -373,7 +380,7 @@ pub fn sparsify_partitioned(
     // Each job owns one output slot; the local runs use the exact serial
     // scoring path (threads = 1), so the outer fan-out is the only
     // parallel region and results are thread-count invariant.
-    let t0 = Instant::now();
+    let t0 = Timer::start("partitioned.densify");
     let mut slots: Vec<Option<Result<PartResult, CoreError>>> = Vec::new();
     slots.resize_with(subs.pieces.len(), || None);
     let jobs: Vec<(&PartitionPiece, &mut Option<Result<PartResult, CoreError>>)> =
@@ -385,10 +392,10 @@ pub fn sparsify_partitioned(
     for slot in slots {
         part_results.push(slot.expect("every partition job ran")?);
     }
-    let densify_time = t0.elapsed();
+    let densify_time = t0.stop();
 
     // --- Stitch. ---
-    let t0 = Instant::now();
+    let t0 = Timer::start("partitioned.stitch");
     let mut tree_edges: Vec<usize> = Vec::with_capacity(n.saturating_sub(1));
     for pr in &part_results {
         tree_edges.extend_from_slice(&pr.tree_edges);
@@ -444,7 +451,7 @@ pub fn sparsify_partitioned(
                 .collect()
         }
     };
-    let t_boundary = Instant::now();
+    let t_boundary = Timer::start("partitioned.boundary");
     let (boundary_recovered, boundary_scored) = match cfg.boundary {
         BoundaryPolicy::KeepAll => (candidates.clone(), 0),
         BoundaryPolicy::Scored { fraction } => {
@@ -476,8 +483,8 @@ pub fn sparsify_partitioned(
             }
         }
     };
-    let boundary_time = t_boundary.elapsed();
-    let stitch_time = t0.elapsed();
+    let boundary_time = t_boundary.stop();
+    let stitch_time = t0.stop();
 
     // --- Assemble the stitched sparsifier + merged report. ---
     let mut edge_ids = tree_edges;
@@ -510,7 +517,7 @@ pub fn sparsify_partitioned(
         part_results.iter().map(|pr| pr.report.budget).sum::<usize>() + boundary_recovered.len();
     let report = SparsifyReport {
         method: cfg.base.method(),
-        total_time: t_start.elapsed(),
+        total_time: t_start.stop(),
         tree_time: part_results.iter().map(|pr| pr.report.tree_time).sum(),
         budget,
         degraded_fallbacks: part_results.iter().map(|pr| pr.degraded).sum(),
@@ -559,6 +566,10 @@ fn densify_piece(
     global_shifts: &[f64],
     cfg: &PartitionedConfig,
 ) -> Result<PartResult, CoreError> {
+    let _span = tracered_obs::span!("partitioned.part", {
+        part: piece.part,
+        nodes: piece.graph.num_nodes(),
+    });
     // Per-partition seed: decorrelates stochastic scoring probes across
     // partitions while staying deterministic.
     let seed = cfg.base.seed_value() ^ (piece.part as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -612,16 +623,22 @@ fn densify_piece(
                 // killing the whole partitioned run. Denser than
                 // requested, but spectrally exact, and recorded in the
                 // degradation counters.
-                let t_fallback = Instant::now();
+                let t_fallback = Timer::start("partitioned.fallback");
+                let t_tree = Timer::start("sparsify.tree");
                 let st = spanning_tree(local_graph, cfg.base.tree_kind_value())?;
+                // The tree phase is timed separately: the fallback's
+                // total also covers mapping every kept edge back to
+                // global ids, so the two fields are distinct measurements
+                // (previously both were assigned the full elapsed time).
+                let tree_time = t_tree.stop();
                 let kept = st.off_tree_edges.len();
                 tree_edges.extend(st.tree_edges.iter().map(|&e| to_global(e)));
                 recovered.extend(st.off_tree_edges.iter().map(|&e| to_global(e)));
                 degraded += 1;
                 reports.push(SparsifyReport {
                     method: cfg.base.method(),
-                    total_time: t_fallback.elapsed(),
-                    tree_time: t_fallback.elapsed(),
+                    total_time: t_fallback.stop(),
+                    tree_time,
                     budget: kept,
                     degraded_fallbacks: 1,
                     // One pseudo-iteration keeps the merged report's

@@ -13,12 +13,13 @@
 //!    (trace reduction scores through Algorithm 1's approximate factor
 //!    inverse, Eq. 20), and recover the next batch.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use tracered_graph::laplacian::{laplacian_with_shifts, subgraph_laplacian};
 use tracered_graph::lca::tree_resistances_threads;
 use tracered_graph::mst::spanning_tree;
 use tracered_graph::{Graph, GraphError, RootedTree};
+use tracered_obs::Timer;
 use tracered_sparse::{
     factorize_regularized_threads, ApproxInverse, CholeskyFactor, CscMatrix, SpaiOptions,
     SparseError,
@@ -275,13 +276,17 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
         return Err(GraphError::Disconnected { components: g.num_components() }.into());
     }
     let shifts = cfg.shift_value().shifts(g)?;
-    let t_start = Instant::now();
+    // Timers measure wall time unconditionally (the report fields below
+    // depend on them) and double as spans when tracing is enabled, so the
+    // report and the trace always describe the same measurement.
+    let t_start =
+        Timer::start_with("sparsify", &[("n", n as f64), ("edges", g.num_edges() as f64)]);
 
     // Step 1: low-stretch spanning tree.
-    let t_tree = Instant::now();
+    let t_tree = Timer::start("sparsify.tree");
     let st = spanning_tree(g, cfg.tree_kind_value())?;
     let tree = RootedTree::build(g, &st.tree_edges, heaviest_node(g))?;
-    let tree_time = t_tree.elapsed();
+    let tree_time = t_tree.stop();
 
     let budget =
         ((cfg.edge_fraction_value() * n as f64).round() as usize).min(st.off_tree_edges.len());
@@ -302,6 +307,10 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
         if remaining == 0 || candidates.is_empty() {
             break;
         }
+        let mut iter_span = tracered_obs::span!("sparsify.iter", {
+            iter: iter_idx + 1,
+            candidates: candidates.len(),
+        });
         let quota = remaining.div_ceil(nr - iter_idx).min(remaining);
         let mut stats = IterationStats {
             iteration: iter_idx + 1,
@@ -331,7 +340,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
         }
 
         // --- Score candidates against the current subgraph. ---
-        let t_score = Instant::now();
+        let t_score = Timer::start("sparsify.score");
         let scores: Vec<f64> = if iter_idx == 0 {
             match cfg.method() {
                 Method::TraceReduction => {
@@ -351,10 +360,10 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                         .collect()
                 }
                 Method::Grass => {
-                    let t_factor = Instant::now();
+                    let t_factor = Timer::start("sparsify.factor");
                     let ls = subgraph_laplacian(g, &selected, &shifts);
                     let factor = factorize_resilient(&ls, cfg, factor_threads, &mut stats)?;
-                    stats.factor_time = t_factor.elapsed();
+                    stats.factor_time = t_factor.stop();
                     grass_scores_threads(
                         g,
                         &lg,
@@ -370,9 +379,9 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                     // Spielman–Srivastava: resistances in the *full* graph,
                     // which costs a full-graph factorization — exactly the
                     // expense the paper's introduction calls out.
-                    let t_factor = Instant::now();
+                    let t_factor = Timer::start("sparsify.factor");
                     let full_factor = factorize_resilient(&lg, cfg, factor_threads, &mut stats)?;
-                    stats.factor_time = t_factor.elapsed();
+                    stats.factor_time = t_factor.stop();
                     crate::jl::jl_scores(
                         g,
                         &full_factor,
@@ -387,10 +396,10 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
             // score against it; the single-pass rankings below never read
             // the subgraph factor.
             let subgraph_factor = |stats: &mut IterationStats| {
-                let t_factor = Instant::now();
+                let t_factor = Timer::start("sparsify.factor");
                 let ls = subgraph_laplacian(g, &selected, &shifts);
                 let factor = factorize_resilient(&ls, cfg, factor_threads, stats);
-                stats.factor_time = t_factor.elapsed();
+                stats.factor_time = t_factor.stop();
                 factor
             };
             match cfg.method() {
@@ -439,9 +448,9 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 }
                 Method::JlResistance => {
                     // Single-pass method: keep the full-graph ranking.
-                    let t_factor = Instant::now();
+                    let t_factor = Timer::start("sparsify.factor");
                     let full_factor = factorize_resilient(&lg, cfg, factor_threads, &mut stats)?;
-                    stats.factor_time = t_factor.elapsed();
+                    stats.factor_time = t_factor.stop();
                     crate::jl::jl_scores(
                         g,
                         &full_factor,
@@ -452,7 +461,7 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
                 }
             }
         };
-        stats.score_time = t_score.elapsed();
+        stats.score_time = t_score.stop();
 
         // --- Rank and recover the iteration quota. ---
         let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -503,12 +512,15 @@ pub fn sparsify(g: &Graph, cfg: &SparsifyConfig) -> Result<Sparsifier, CoreError
         candidates = next_candidates;
         remaining -= picked;
         stats.recovered = picked;
+        if let Some(g) = iter_span.as_mut() {
+            g.arg("recovered", picked as f64);
+        }
         iterations.push(stats);
     }
 
     let report = SparsifyReport {
         method: cfg.method(),
-        total_time: t_start.elapsed(),
+        total_time: t_start.stop(),
         tree_time,
         budget,
         degraded_fallbacks: 0,

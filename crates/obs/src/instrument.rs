@@ -1,0 +1,328 @@
+//! Typed instruments: counters, gauges, watermarks, and log-scale
+//! histograms.
+//!
+//! Instruments are *always on* — unlike spans they are plain relaxed
+//! atomics with no global enable flag, cheap enough to live on request
+//! paths (one `fetch_add`, or for histograms a `log2` plus three atomic
+//! RMWs). They can be owned by a subsystem (the service owns its own
+//! set, so two services in one process never share counters) or
+//! registered globally by name through [`crate::counter`] /
+//! [`crate::gauge`] / [`crate::histogram`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// let hits = tracered_obs::Counter::new();
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an instantaneous level that can go up and down, with a
+/// high-water mark.
+///
+/// # Example
+///
+/// ```
+/// let depth = tracered_obs::Gauge::new();
+/// depth.inc();
+/// depth.inc();
+/// depth.dec();
+/// assert_eq!(depth.get(), 1);
+/// assert_eq!(depth.max_seen(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge { value: AtomicI64::new(0), max: AtomicI64::new(0) }
+    }
+
+    /// Adds `delta` (may be negative) and updates the high-water mark.
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the level outright and updates the high-water mark.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever set through [`Gauge::add`] / [`Gauge::inc`] /
+    /// [`Gauge::set`].
+    pub fn max_seen(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotone high-water mark over observed values (e.g. the widest
+/// batch executed so far).
+#[derive(Debug, Default)]
+pub struct Watermark(AtomicU64);
+
+impl Watermark {
+    /// A watermark starting at zero.
+    pub const fn new() -> Self {
+        Watermark(AtomicU64::new(0))
+    }
+
+    /// Raises the mark to `v` if `v` exceeds it.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Highest value observed.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per octave (power of two) of the histogram range.
+const SUB: usize = 8;
+/// Octaves covered: from `MIN_S` (≈0.93 ns) up to `MIN_S · 2^36` ≈ 64 s.
+const OCTAVES: usize = 36;
+/// Number of regular buckets.
+const NB: usize = SUB * OCTAVES;
+/// Lower edge of the first regular bucket, in seconds (2⁻³⁰).
+const MIN_S: f64 = 1.0 / (1u64 << 30) as f64;
+
+/// A fixed-bucket log-scale histogram of durations in seconds.
+///
+/// Buckets are spaced a factor `2^(1/8)` (≈9%) apart from ≈1 ns to
+/// ≈64 s, with underflow/overflow buckets at the ends, so quantiles are
+/// exact to within one bucket's relative width. Recording is lock-free:
+/// a `log2`, then relaxed atomic adds — cheap enough to time every
+/// service request live rather than post-hoc in a bench collector.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// let h = tracered_obs::Histogram::new();
+/// for ms in 1..=100u64 {
+///     h.record_duration(Duration::from_millis(ms));
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 / 0.050 - 1.0).abs() < 0.10, "p50 {p50} ≉ 50ms");
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    /// Bit patterns of non-negative `f64`s order like the floats.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    under: AtomicU64,
+    over: AtomicU64,
+    buckets: [AtomicU64; NB],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(0),
+            under: AtomicU64::new(0),
+            over: AtomicU64::new(0),
+            buckets: [(); NB].map(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation, in seconds. Negative and non-finite
+    /// values are clamped to zero (they land in the underflow bucket).
+    pub fn record(&self, seconds: f64) {
+        let v = if seconds.is_finite() && seconds > 0.0 { seconds } else { 0.0 };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add((v * 1e9) as u64, Ordering::Relaxed);
+        let bits = v.to_bits();
+        self.min_bits.fetch_min(bits, Ordering::Relaxed);
+        self.max_bits.fetch_max(bits, Ordering::Relaxed);
+        if v < MIN_S {
+            self.under.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = ((v / MIN_S).log2() * SUB as f64).floor() as usize;
+            match self.buckets.get(idx) {
+                Some(b) => b.fetch_add(1, Ordering::Relaxed),
+                None => self.over.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
+
+    /// Records one observation as a [`Duration`].
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in seconds (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9 / c as f64
+        }
+    }
+
+    /// Smallest observation in seconds (`0.0` when empty).
+    pub fn min_s(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation in seconds (`0.0` when empty).
+    pub fn max_s(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank quantile, `0.0 <= q <= 1.0`, exact to within one
+    /// bucket's relative width (a factor of `2^(1/8)` ≈ 1.09). Returns
+    /// the geometric midpoint of the bucket holding the target rank;
+    /// the overflow bucket reports the observed maximum. `0.0` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = self.under.load(Ordering::Relaxed);
+        if cum >= target {
+            // Underflow bucket: everything below MIN_S, including exact
+            // zeros; report the observed minimum (itself < MIN_S).
+            return self.min_s();
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return MIN_S * ((i as f64 + 0.5) / SUB as f64).exp2();
+            }
+        }
+        self.max_s()
+    }
+
+    /// A small `Copy` summary (count, mean, p50/p90/p99, max) suitable
+    /// for embedding in snapshot structs.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean_s: self.mean(),
+            p50_s: self.quantile(0.50),
+            p90_s: self.quantile(0.90),
+            p99_s: self.quantile(0.99),
+            max_s: self.max_s(),
+        }
+    }
+
+    /// Occupied buckets as `(lower_edge_seconds, count)` pairs, in
+    /// ascending order. The underflow bucket reports edge `0.0`.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let under = self.under.load(Ordering::Relaxed);
+        if under > 0 {
+            out.push((0.0, under));
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                out.push((MIN_S * (i as f64 / SUB as f64).exp2(), c));
+            }
+        }
+        let over = self.over.load(Ordering::Relaxed);
+        if over > 0 {
+            out.push((MIN_S * (NB as f64 / SUB as f64).exp2(), over));
+        }
+        out
+    }
+
+    /// The relative width of one bucket — quantiles are exact to within
+    /// this factor.
+    pub fn bucket_ratio() -> f64 {
+        (1.0 / SUB as f64).exp2()
+    }
+}
+
+/// A compact, `Copy` summary of a [`Histogram`] — what service
+/// snapshots carry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observation, seconds.
+    pub mean_s: f64,
+    /// Median (nearest-rank, bucket-resolution), seconds.
+    pub p50_s: f64,
+    /// 90th percentile, seconds.
+    pub p90_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+    /// Largest observation, seconds.
+    pub max_s: f64,
+}

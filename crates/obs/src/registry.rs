@@ -1,0 +1,93 @@
+//! The global named-instrument registry.
+//!
+//! Subsystems that have no natural owner for an instrument (e.g. the
+//! process-global worker pool's occupancy gauge) register it here by
+//! name; [`crate::Recorder::snapshot_json`] exports every registered
+//! instrument alongside the span aggregates. Instruments live for the
+//! process lifetime (they are leaked once on first use).
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::instrument::{Counter, Gauge, Histogram};
+
+pub(crate) enum AnyInstrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<Vec<(&'static str, AnyInstrument)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, AnyInstrument)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+pub(crate) fn for_each(mut f: impl FnMut(&'static str, &AnyInstrument)) {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for (name, inst) in reg.iter() {
+        f(name, inst);
+    }
+}
+
+/// The globally registered counter named `name`, created on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different instrument
+/// kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for (n, inst) in reg.iter() {
+        if *n == name {
+            match inst {
+                AnyInstrument::Counter(c) => return c,
+                _ => panic!("instrument '{name}' is registered with a different kind"),
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    reg.push((name, AnyInstrument::Counter(c)));
+    c
+}
+
+/// The globally registered gauge named `name`, created on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different instrument
+/// kind.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for (n, inst) in reg.iter() {
+        if *n == name {
+            match inst {
+                AnyInstrument::Gauge(g) => return g,
+                _ => panic!("instrument '{name}' is registered with a different kind"),
+            }
+        }
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    reg.push((name, AnyInstrument::Gauge(g)));
+    g
+}
+
+/// The globally registered histogram named `name`, created on first
+/// use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different instrument
+/// kind.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for (n, inst) in reg.iter() {
+        if *n == name {
+            match inst {
+                AnyInstrument::Histogram(h) => return h,
+                _ => panic!("instrument '{name}' is registered with a different kind"),
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    reg.push((name, AnyInstrument::Histogram(h)));
+    h
+}

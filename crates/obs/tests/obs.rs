@@ -1,0 +1,280 @@
+//! Unit suite for the observability crate: histogram quantile
+//! exactness, chrome-trace well-formedness, the disabled-path contract,
+//! and a generous-margin overhead smoke test.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tracered_obs::{recorder, set_enabled, validate_json, Counter, Gauge, Histogram, Watermark};
+
+/// Tests that toggle the global tracing flag or inspect trace contents
+/// serialize through this lock so they never see each other's spans.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn histogram_quantiles_are_bucket_exact_on_uniform_grid() {
+    let h = Histogram::new();
+    // 1ms..=1000ms, one observation each: p50 = 500ms, p99 = 990ms,
+    // both exact up to one bucket's relative width.
+    for ms in 1..=1000u64 {
+        h.record(ms as f64 / 1000.0);
+    }
+    assert_eq!(h.count(), 1000);
+    let tol = Histogram::bucket_ratio(); // 2^(1/8) ≈ 1.09
+    for (q, want) in [(0.50, 0.500), (0.90, 0.900), (0.99, 0.990)] {
+        let got = h.quantile(q);
+        let ratio = got / want;
+        assert!(ratio < tol && ratio > 1.0 / tol, "q={q}: got {got}, want {want} within ×{tol}");
+    }
+    assert!((h.mean() - 0.5005).abs() < 1e-3, "mean {}", h.mean());
+    assert_eq!(h.max_s(), 1.0);
+    assert_eq!(h.min_s(), 0.001);
+}
+
+#[test]
+fn histogram_quantiles_on_bimodal_distribution() {
+    let h = Histogram::new();
+    // 90 fast (10µs) + 10 slow (10ms): p50 must sit on the fast mode,
+    // p99 on the slow mode.
+    for _ in 0..90 {
+        h.record(10e-6);
+    }
+    for _ in 0..10 {
+        h.record(10e-3);
+    }
+    let tol = Histogram::bucket_ratio();
+    let p50 = h.quantile(0.50);
+    let p99 = h.quantile(0.99);
+    assert!(p50 / 10e-6 < tol && p50 / 10e-6 > 1.0 / tol, "p50 {p50}");
+    assert!(p99 / 10e-3 < tol && p99 / 10e-3 > 1.0 / tol, "p99 {p99}");
+}
+
+#[test]
+fn histogram_edge_cases() {
+    let h = Histogram::new();
+    assert_eq!(h.quantile(0.5), 0.0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.summary().count, 0);
+    // Degenerate and out-of-range observations neither panic nor skew
+    // the regular buckets.
+    h.record(0.0);
+    h.record(-1.0);
+    h.record(f64::NAN);
+    h.record(1e9); // beyond the last bucket → overflow, reported as max
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.quantile(1.0), 1e9);
+    assert_eq!(h.quantile(0.25), 0.0);
+    let buckets = h.nonzero_buckets();
+    assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+}
+
+#[test]
+fn histogram_single_observation() {
+    let h = Histogram::new();
+    h.record_duration(Duration::from_micros(250));
+    let tol = Histogram::bucket_ratio();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        let got = h.quantile(q);
+        assert!(got / 250e-6 < tol && got / 250e-6 > 1.0 / tol, "q={q} got {got}");
+    }
+    let s = h.summary();
+    assert_eq!(s.count, 1);
+    assert_eq!(s.max_s, 250e-6);
+}
+
+#[test]
+fn counter_gauge_watermark_basics() {
+    let c = Counter::new();
+    c.inc();
+    c.add(4);
+    assert_eq!(c.get(), 5);
+
+    let g = Gauge::new();
+    g.inc();
+    g.inc();
+    g.inc();
+    g.dec();
+    assert_eq!(g.get(), 2);
+    assert_eq!(g.max_seen(), 3);
+    g.set(10);
+    assert_eq!(g.max_seen(), 10);
+
+    let w = Watermark::new();
+    w.observe(7);
+    w.observe(3);
+    assert_eq!(w.get(), 7);
+}
+
+#[test]
+fn global_registry_returns_same_instrument() {
+    let a = tracered_obs::counter("test.registry.counter");
+    let b = tracered_obs::counter("test.registry.counter");
+    a.inc();
+    b.inc();
+    assert_eq!(a.get() % 2, 0, "both handles hit the same counter");
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let _l = locked();
+    recorder().reset();
+    set_enabled(false);
+    {
+        let _s = tracered_obs::span!("off.span", { n: 1 });
+        tracered_obs::event!("off.event");
+        assert!(_s.is_none(), "span! must be a no-op while disabled");
+    }
+    let trace = recorder().trace();
+    assert!(!trace.has_span("off.span"));
+    assert!(trace.events.iter().all(|e| e.name != "off.event"));
+}
+
+#[test]
+fn span_args_are_not_evaluated_while_disabled() {
+    let _l = locked();
+    set_enabled(false);
+    let evaluated = std::cell::Cell::new(false);
+    let probe = || {
+        evaluated.set(true);
+        1usize
+    };
+    let _s = tracered_obs::span!("off.lazy", { n: probe() });
+    assert!(!evaluated.get(), "argument expressions must stay unevaluated");
+}
+
+#[test]
+fn spans_nest_and_aggregate_with_self_time() {
+    let _l = locked();
+    recorder().reset();
+    set_enabled(true);
+    {
+        let _outer = tracered_obs::span!("agg.outer", { n: 8 });
+        for i in 0..3 {
+            let _inner = tracered_obs::span!("agg.inner", { i });
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    set_enabled(false);
+    let trace = recorder().trace();
+    assert_eq!(trace.span_count("agg.inner"), 3);
+    assert_eq!(trace.span_count("agg.outer"), 1);
+    let aggs = trace.aggregate();
+    let outer = aggs.iter().find(|a| a.path == "agg.outer").expect("outer path");
+    let inner = aggs.iter().find(|a| a.path == "agg.outer/agg.inner").expect("nested path");
+    assert_eq!(inner.depth, 1);
+    assert_eq!(inner.count, 3);
+    assert!(outer.total >= inner.total, "parent covers children");
+    assert!(outer.self_time <= outer.total - inner.total + Duration::from_millis(1));
+    let report = recorder().report();
+    assert!(report.contains("agg.outer"));
+    assert!(report.contains("  agg.inner"), "report indents nested spans:\n{report}");
+    recorder().reset();
+}
+
+#[test]
+fn chrome_trace_json_is_well_formed() {
+    let _l = locked();
+    recorder().reset();
+    set_enabled(true);
+    {
+        let _a = tracered_obs::span!("chrome.outer", { n: 4, nnz: 16 });
+        let _b = tracered_obs::span!("chrome.inner");
+        tracered_obs::event!("chrome.tick", { step: 2 });
+    }
+    set_enabled(false);
+    let json = recorder().chrome_trace_json();
+    validate_json(&json).expect("chrome trace must be valid JSON");
+    assert!(json.trim_start().starts_with('['), "trace_event format is a JSON array");
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"ph\":\"i\""));
+    assert!(json.contains("\"chrome.outer\""));
+    assert!(json.contains("\"nnz\":16.0"));
+
+    let snapshot = recorder().snapshot_json();
+    validate_json(&snapshot).expect("snapshot must be valid JSON");
+    assert!(snapshot.contains("\"spans\""));
+    recorder().reset();
+}
+
+#[test]
+fn json_validator_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "[1 2]",
+        "\"unterminated",
+        "01",
+        "1.e3",
+        "nulll",
+        "[1] trailing",
+        "{\"bad escape\": \"\\q\"}",
+    ] {
+        assert!(validate_json(bad).is_err(), "accepted malformed JSON: {bad:?}");
+    }
+    for good in ["0", "-1.5e-3", "[]", "{}", "[[[]]]", "\"\\u00e9\"", "{\"k\":[true,false,null]}"] {
+        assert!(validate_json(good).is_ok(), "rejected valid JSON: {good:?}");
+    }
+}
+
+#[test]
+fn cross_thread_spans_carry_their_own_thread_id() {
+    let _l = locked();
+    recorder().reset();
+    set_enabled(true);
+    {
+        let _s = tracered_obs::span!("threads.main");
+        std::thread::spawn(|| {
+            let _w = tracered_obs::span!("threads.worker");
+        })
+        .join()
+        .unwrap();
+    }
+    set_enabled(false);
+    let trace = recorder().trace();
+    let main = trace.spans.iter().find(|s| s.name == "threads.main").expect("main span");
+    let worker = trace.spans.iter().find(|s| s.name == "threads.worker").expect("worker span");
+    assert_ne!(main.thread, worker.thread, "each thread gets its own tid lane");
+    recorder().reset();
+}
+
+/// Generous-margin overhead smoke: a loop of disabled `span!` sites
+/// must not be dramatically slower than the bare loop. The margin is
+/// wide (10×) because CI wall clocks are noisy — the real contract is
+/// "one relaxed load", and the equivalence tests pin bit-identity.
+#[test]
+fn disabled_spans_add_no_measurable_cost() {
+    let _l = locked();
+    set_enabled(false);
+    const N: usize = 200_000;
+
+    let mut acc = 0u64;
+    let t0 = Instant::now();
+    for i in 0..N {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+    }
+    let bare = t0.elapsed();
+    std::hint::black_box(acc);
+
+    let mut acc2 = 0u64;
+    let t1 = Instant::now();
+    for i in 0..N {
+        let _s = tracered_obs::span!("overhead.site", { i });
+        acc2 = acc2.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+    }
+    let instrumented = t1.elapsed();
+    std::hint::black_box(acc2);
+
+    assert_eq!(acc, acc2, "instrumentation must not perturb arithmetic");
+    let floor = Duration::from_micros(500);
+    assert!(
+        instrumented < bare.max(floor) * 10,
+        "disabled span! overhead out of bounds: bare {bare:?}, instrumented {instrumented:?}"
+    );
+}

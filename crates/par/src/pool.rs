@@ -510,7 +510,40 @@ trait WorkerRun {
 
 /// Publishes `runner` as a region, participates, and blocks until the
 /// region is quiescent; then re-raises any captured panic.
+/// RAII update of the pool occupancy gauge (`par.pool.active_regions`).
+///
+/// The gauge is only touched while tracing is enabled — parallel
+/// regions are entered ~5× per PCG iteration, and the zero-overhead
+/// contract demands that an idle recorder costs the hot path nothing
+/// beyond one relaxed load. The guard remembers whether it incremented
+/// so a mid-region toggle can never unbalance the gauge.
+struct RegionOccupancy {
+    counted: bool,
+}
+
+impl RegionOccupancy {
+    fn enter() -> RegionOccupancy {
+        let counted = tracered_obs::enabled();
+        if counted {
+            tracered_obs::gauge("par.pool.active_regions").inc();
+        }
+        RegionOccupancy { counted }
+    }
+}
+
+impl Drop for RegionOccupancy {
+    fn drop(&mut self) {
+        if self.counted {
+            tracered_obs::gauge("par.pool.active_regions").dec();
+        }
+    }
+}
+
 fn execute<R: WorkerRun + Sync>(pool: &Pool, runner: &R, njobs: usize, threads: usize) {
+    // Region entry/exit span: publish → claim loop → quiescence. One
+    // relaxed load when tracing is off.
+    let _span = tracered_obs::span!("par.region", { jobs: njobs, threads: threads });
+    let _occupancy = RegionOccupancy::enter();
     let region = Arc::new(Region {
         run: worker_shim::<R>,
         body: (runner as *const R).cast::<()>(),

@@ -348,6 +348,7 @@ pub fn simulate_direct_batch(
     let k = scenarios.len();
     assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
     assert!(k > 0, "at least one scenario is required");
+    let mut span = tracered_obs::span!("transient.run", { n: n, scenarios: k });
     let h = cfg.fixed_step.unwrap_or_else(|| {
         pg.sources().iter().map(|s| s.waveform.min_breakpoint_gap()).fold(cfg.max_step, f64::min)
     });
@@ -371,6 +372,7 @@ pub fn simulate_direct_batch(
     let mut steps = 0usize;
     let mut t = 0.0;
     while t < cfg.t_end - 1e-18 {
+        let _step = tracered_obs::span!("transient.step", { step: steps, width: k });
         let t_next = (t + h).min(cfg.t_end);
         for (s, sc) in scenarios.iter().enumerate() {
             step_rhs(
@@ -398,6 +400,9 @@ pub fn simulate_direct_batch(
         }
     }
     let solve_time = t_solve.elapsed() / k as u32;
+    if let Some(g) = span.as_mut() {
+        g.arg("steps", steps as f64);
+    }
     Ok(probes
         .into_iter()
         .map(|scenario_probes| TransientResult {
@@ -586,6 +591,7 @@ pub fn simulate_pcg_batch(
     let k = scenarios.len();
     assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
     assert!(k > 0, "at least one scenario is required");
+    let mut span = tracered_obs::span!("transient.run", { n: n, scenarios: k });
     let waveforms: Vec<_> = pg.sources().iter().map(|s| s.waveform).collect();
     let grid = merged_time_grid(&waveforms, cfg.t_end, cfg.max_step);
 
@@ -621,6 +627,7 @@ pub fn simulate_pcg_batch(
     let mut total_iters = vec![0usize; k];
     let mut steps = 0usize;
     for w in grid.windows(2) {
+        let _step = tracered_obs::span!("transient.step", { step: steps, width: k });
         let (t0, t1) = (w[0], w[1]);
         let h = t1 - t0;
         // A = G + C/h (or G/2 + C/h), a diagonal update of the cached G.
@@ -656,6 +663,10 @@ pub fn simulate_pcg_batch(
         }
     }
     let solve_time = t_solve.elapsed() / k as u32;
+    if let Some(g) = span.as_mut() {
+        g.arg("steps", steps as f64);
+        g.arg("pcg_iterations", total_iters.iter().sum::<usize>() as f64);
+    }
     Ok(probes
         .into_iter()
         .zip(total_iters)
@@ -835,6 +846,7 @@ pub fn simulate_pcg_batch_outcomes(
     let n = pg.num_nodes();
     assert!(probe_nodes.iter().all(|&p| p < n), "probe nodes must be in bounds");
     assert!(!scenarios.is_empty(), "at least one scenario is required");
+    let mut span = tracered_obs::span!("transient.run", { n: n, scenarios: scenarios.len() });
     let num_sources = pg.sources().len();
 
     let mut failures: Vec<Option<ScenarioFailure>> = vec![None; scenarios.len()];
@@ -909,6 +921,7 @@ pub fn simulate_pcg_batch_outcomes(
         if active.is_empty() {
             break;
         }
+        let _step = tracered_obs::span!("transient.step", { step: steps, width: active.len() });
         let (t0, t1) = (w[0], w[1]);
         let h = t1 - t0;
         let shifts: Vec<f64> = cap.iter().map(|&c| c / h).collect();
@@ -972,6 +985,10 @@ pub fn simulate_pcg_batch_outcomes(
     let survivors = active.len();
     let solve_time =
         if survivors > 0 { t_solve.elapsed() / survivors as u32 } else { Duration::ZERO };
+    if let Some(g) = span.as_mut() {
+        g.arg("steps", steps as f64);
+        g.arg("survivors", survivors as f64);
+    }
     let mut results: Vec<Option<TransientResult>> = vec![None; scenarios.len()];
     for ((s, scenario_probes), iters) in active.iter().zip(probes).zip(total_iters) {
         results[*s] = Some(TransientResult {

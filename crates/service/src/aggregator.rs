@@ -25,12 +25,12 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
+use tracered_obs::Timer;
 use tracered_powergrid::transient::{simulate_pcg_batch_outcomes, SourceScenario};
 use tracered_solver::{block_pcg, PcgOptions, TerminationReason};
 use tracered_sparse::MultiVec;
 
 use crate::context::PublishedContext;
-use crate::metrics::ServiceMetrics;
 use crate::request::{
     EngineKind, RequestKind, RhsSource, ServiceError, ServiceResponse, ServiceResult,
     SimulateOutcome, SolveOutcome,
@@ -64,13 +64,28 @@ fn absorb(msg: Msg, queue: &mut VecDeque<Pending>) -> bool {
     true
 }
 
-fn reply_err(shared: &Shared, reply: &Sender<ServiceResult>, err: ServiceError) {
-    ServiceMetrics::bump(&shared.metrics.failed);
+/// Books a request out of the in-flight accounting. Every reply funnels
+/// through here, so the queue-depth gauge and the end-to-end latency
+/// histogram see exactly one decrement/observation per accepted request.
+fn settle(shared: &Shared, enqueued: Instant) {
+    shared.metrics.queue_depth.dec();
+    shared.metrics.latency.record_duration(enqueued.elapsed());
+}
+
+fn reply_err(shared: &Shared, reply: &Sender<ServiceResult>, enqueued: Instant, err: ServiceError) {
+    shared.metrics.failed.inc();
+    settle(shared, enqueued);
     let _ = reply.send(Err(err));
 }
 
-fn reply_ok(shared: &Shared, reply: &Sender<ServiceResult>, resp: ServiceResponse) {
-    ServiceMetrics::bump(&shared.metrics.completed);
+fn reply_ok(
+    shared: &Shared,
+    reply: &Sender<ServiceResult>,
+    enqueued: Instant,
+    resp: ServiceResponse,
+) {
+    shared.metrics.completed.inc();
+    settle(shared, enqueued);
     let _ = reply.send(Ok(resp));
 }
 
@@ -105,7 +120,7 @@ pub(crate) fn run(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServiceConfig) {
         let Some(published) = published else {
             // Nothing published: everything queued fails typed, now.
             while let Some(p) = queue.pop_front() {
-                reply_err(&shared, &p.reply, ServiceError::NoContext);
+                reply_err(&shared, &p.reply, p.enqueued, ServiceError::NoContext);
             }
             continue;
         };
@@ -114,22 +129,24 @@ pub(crate) fn run(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServiceConfig) {
         let Some(head) = queue.pop_front() else { continue };
         if let Some(pinned) = head.pinned {
             if pinned != published.epoch {
-                ServiceMetrics::bump(&shared.metrics.stale_rejections);
+                shared.metrics.stale_rejections.inc();
                 reply_err(
                     &shared,
                     &head.reply,
+                    head.enqueued,
                     ServiceError::StaleEpoch { pinned, current: published.epoch },
                 );
                 continue;
             }
         }
         if matches!(head.kind, RequestKind::Simulate { .. }) && published.grid.is_none() {
-            reply_err(&shared, &head.reply, ServiceError::NoGridContext);
+            reply_err(&shared, &head.reply, head.enqueued, ServiceError::NoGridContext);
             continue;
         }
 
         let key = batch_key(&head.kind);
         let mut batch = vec![head];
+        let t_linger = Timer::start("service.linger");
         let deadline = Instant::now() + cfg.max_linger;
         loop {
             // Pull compatible requests already waiting, in arrival
@@ -144,10 +161,11 @@ pub(crate) fn run(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServiceConfig) {
                 let Some(q) = queue.remove(i) else { break };
                 match q.pinned {
                     Some(p) if p != published.epoch => {
-                        ServiceMetrics::bump(&shared.metrics.stale_rejections);
+                        shared.metrics.stale_rejections.inc();
                         reply_err(
                             &shared,
                             &q.reply,
+                            q.enqueued,
                             ServiceError::StaleEpoch { pinned: p, current: published.epoch },
                         );
                     }
@@ -172,6 +190,9 @@ pub(crate) fn run(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServiceConfig) {
             }
         }
 
+        shared.metrics.linger.record_duration(t_linger.stop());
+
+        let _batch_span = tracered_obs::span!("service.batch", { width: batch.len() });
         if matches!(batch[0].kind, RequestKind::Simulate { .. }) {
             execute_simulate_batch(batch, &published, &shared);
         } else {
@@ -181,7 +202,7 @@ pub(crate) fn run(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServiceConfig) {
 
     // Refuse anything that slipped in after shutdown, typed.
     while let Some(p) = queue.pop_front() {
-        reply_err(&shared, &p.reply, ServiceError::ServiceStopped);
+        reply_err(&shared, &p.reply, p.enqueued, ServiceError::ServiceStopped);
     }
 }
 
@@ -198,9 +219,11 @@ fn execute_solve_batch(
     // answered right here; survivors carry on into the blocked kernel.
     let mut engine = EngineKind::Pcg;
     let mut tol_bits = 0u64;
-    let mut survivors: Vec<(Sender<ServiceResult>, Vec<f64>)> = Vec::with_capacity(batch.len());
+    let mut survivors: Vec<(Sender<ServiceResult>, Instant, Vec<f64>)> =
+        Vec::with_capacity(batch.len());
+    let vet_span = tracered_obs::span!("service.vet", { width: batch.len() });
     for p in batch {
-        let Pending { kind, reply, .. } = p;
+        let Pending { kind, reply, enqueued, .. } = p;
         let RequestKind::Solve { rhs, engine: e, tol_bits: t } = kind else {
             unreachable!("solve batches are homogeneous by construction");
         };
@@ -214,38 +237,40 @@ fn execute_solve_batch(
         };
         match rhs {
             Err(e) => {
-                ServiceMetrics::bump(&shared.metrics.faults_isolated);
-                reply_err(shared, &reply, e);
+                shared.metrics.faults_isolated.inc();
+                reply_err(shared, &reply, enqueued, e);
             }
             Ok(v) if v.len() != n => {
-                ServiceMetrics::bump(&shared.metrics.faults_isolated);
+                shared.metrics.faults_isolated.inc();
                 reply_err(
                     shared,
                     &reply,
+                    enqueued,
                     ServiceError::WrongLength { expected: n, found: v.len() },
                 );
             }
             Ok(v) => match v.iter().position(|x| !x.is_finite()) {
                 Some(index) => {
-                    ServiceMetrics::bump(&shared.metrics.faults_isolated);
-                    reply_err(shared, &reply, ServiceError::NonFiniteRhs { index });
+                    shared.metrics.faults_isolated.inc();
+                    reply_err(shared, &reply, enqueued, ServiceError::NonFiniteRhs { index });
                 }
-                None => survivors.push((reply, v)),
+                None => survivors.push((reply, enqueued, v)),
             },
         }
     }
+    drop(vet_span);
     if survivors.is_empty() {
         return;
     }
 
     let width = survivors.len();
     shared.metrics.record_batch(width);
-    let columns: Vec<&[f64]> = survivors.iter().map(|(_, v)| v.as_slice()).collect();
+    let columns: Vec<&[f64]> = survivors.iter().map(|(_, _, v)| v.as_slice()).collect();
     let b = match MultiVec::from_columns(&columns) {
         Ok(b) => b,
         Err(e) => {
-            for (reply, _) in &survivors {
-                reply_err(shared, reply, ServiceError::Solver(e.clone()));
+            for (reply, enqueued, _) in &survivors {
+                reply_err(shared, reply, *enqueued, ServiceError::Solver(e.clone()));
             }
             return;
         }
@@ -258,15 +283,19 @@ fn execute_solve_batch(
                 max_iterations: cfg.max_iterations,
                 threads: cfg.solver_threads.max(1),
             };
-            let sol = catch_unwind(AssertUnwindSafe(|| {
-                block_pcg(ctx.system(), &b, ctx.preconditioner(), &opts)
-            }));
+            let sol = {
+                let _kernel = tracered_obs::span!("service.kernel", { width: width });
+                catch_unwind(AssertUnwindSafe(|| {
+                    block_pcg(ctx.system(), &b, ctx.preconditioner(), &opts)
+                }))
+            };
             match sol {
                 Ok(sol) => {
-                    for (j, (reply, _)) in survivors.iter().enumerate() {
+                    for (j, (reply, enqueued, _)) in survivors.iter().enumerate() {
                         reply_ok(
                             shared,
                             reply,
+                            *enqueued,
                             ServiceResponse::Solve(SolveOutcome {
                                 x: sol.x.col(j).to_vec(),
                                 iterations: sol.iterations[j],
@@ -280,8 +309,8 @@ fn execute_solve_batch(
                     }
                 }
                 Err(_) => {
-                    for (reply, _) in &survivors {
-                        reply_err(shared, reply, ServiceError::BatchPanicked);
+                    for (reply, enqueued, _) in &survivors {
+                        reply_err(shared, reply, *enqueued, ServiceError::BatchPanicked);
                     }
                 }
             }
@@ -290,16 +319,19 @@ fn execute_solve_batch(
             let factor = match ctx.direct_factor() {
                 Ok(f) => f,
                 Err(e) => {
-                    for (reply, _) in &survivors {
-                        reply_err(shared, reply, ServiceError::Solver(e.clone()));
+                    for (reply, enqueued, _) in &survivors {
+                        reply_err(shared, reply, *enqueued, ServiceError::Solver(e.clone()));
                     }
                     return;
                 }
             };
-            let sol = catch_unwind(AssertUnwindSafe(|| factor.solve_multi(&b)));
+            let sol = {
+                let _kernel = tracered_obs::span!("service.kernel", { width: width });
+                catch_unwind(AssertUnwindSafe(|| factor.solve_multi(&b)))
+            };
             match sol {
                 Ok(x) => {
-                    for (j, (reply, bj)) in survivors.iter().enumerate() {
+                    for (j, (reply, enqueued, bj)) in survivors.iter().enumerate() {
                         let xj = x.col(j);
                         let r_inf = ctx.system().residual_inf_norm(xj, bj);
                         let b_inf = bj.iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -308,6 +340,7 @@ fn execute_solve_batch(
                         reply_ok(
                             shared,
                             reply,
+                            *enqueued,
                             ServiceResponse::Solve(SolveOutcome {
                                 x: xj.to_vec(),
                                 iterations: 0,
@@ -325,8 +358,8 @@ fn execute_solve_batch(
                     }
                 }
                 Err(_) => {
-                    for (reply, _) in &survivors {
-                        reply_err(shared, reply, ServiceError::BatchPanicked);
+                    for (reply, enqueued, _) in &survivors {
+                        reply_err(shared, reply, *enqueued, ServiceError::BatchPanicked);
                     }
                 }
             }
@@ -340,7 +373,7 @@ fn execute_simulate_batch(batch: Vec<Pending>, published: &PublishedContext, sha
         // same epoch snapshot, so this cannot happen; answer typed
         // anyway rather than panic.
         for p in batch {
-            reply_err(shared, &p.reply, ServiceError::NoGridContext);
+            reply_err(shared, &p.reply, p.enqueued, ServiceError::NoGridContext);
         }
         return;
     };
@@ -355,21 +388,25 @@ fn execute_simulate_batch(batch: Vec<Pending>, published: &PublishedContext, sha
         .collect();
     let width = batch.len();
     shared.metrics.record_batch(width);
-    let outcomes = catch_unwind(AssertUnwindSafe(|| {
-        simulate_pcg_batch_outcomes(
-            &grid.grid,
-            &grid.transient,
-            published.ctx.preconditioner(),
-            &grid.probes,
-            &scenarios,
-        )
-    }));
+    let outcomes = {
+        let _kernel = tracered_obs::span!("service.kernel", { width: width });
+        catch_unwind(AssertUnwindSafe(|| {
+            simulate_pcg_batch_outcomes(
+                &grid.grid,
+                &grid.transient,
+                published.ctx.preconditioner(),
+                &grid.probes,
+                &scenarios,
+            )
+        }))
+    };
     match outcomes {
         Ok(Ok(outcomes)) => {
             for (p, outcome) in batch.iter().zip(outcomes) {
                 reply_ok(
                     shared,
                     &p.reply,
+                    p.enqueued,
                     ServiceResponse::Simulate(SimulateOutcome {
                         outcome,
                         epoch: published.epoch,
@@ -380,12 +417,12 @@ fn execute_simulate_batch(batch: Vec<Pending>, published: &PublishedContext, sha
         }
         Ok(Err(e)) => {
             for p in &batch {
-                reply_err(shared, &p.reply, ServiceError::Solver(e.clone()));
+                reply_err(shared, &p.reply, p.enqueued, ServiceError::Solver(e.clone()));
             }
         }
         Err(_) => {
             for p in &batch {
-                reply_err(shared, &p.reply, ServiceError::BatchPanicked);
+                reply_err(shared, &p.reply, p.enqueued, ServiceError::BatchPanicked);
             }
         }
     }

@@ -1,63 +1,72 @@
-//! Lock-free service counters.
+//! Lock-free service instrumentation.
 //!
 //! Every interesting event in the service — a submission, a batch, a
-//! cache hit, an isolated fault — bumps a relaxed atomic here. The
-//! aggregator publishes through these counters and never blocks on them;
-//! [`MetricsSnapshot`] is the consistent-enough view handed to callers
-//! and to the `service_scaling` benchmark.
+//! cache hit, an isolated fault — bumps a typed [`tracered_obs`]
+//! instrument here: relaxed-atomic counters for totals, a gauge for the
+//! live queue depth, and log-scale histograms for end-to-end latency and
+//! per-batch linger. The aggregator publishes through these instruments
+//! and never blocks on them; [`MetricsSnapshot`] is the
+//! consistent-enough view handed to callers and to the
+//! `service_scaling` benchmark.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use tracered_obs::{Counter, Gauge, Histogram, HistogramSummary, Watermark};
 
-/// Internal atomic counters (one instance lives in the service's shared
-/// state; all threads bump it with relaxed ordering).
+/// Internal instruments (one instance lives in the service's shared
+/// state; all threads bump it with relaxed ordering). Instruments are
+/// per-service, not process-global: two services in one process keep
+/// independent books.
 #[derive(Debug, Default)]
 pub(crate) struct ServiceMetrics {
-    pub submitted: AtomicU64,
-    pub completed: AtomicU64,
-    pub failed: AtomicU64,
-    pub batches: AtomicU64,
-    pub batched_requests: AtomicU64,
-    pub max_batch_width: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub stale_rejections: AtomicU64,
-    pub faults_isolated: AtomicU64,
-    pub publishes: AtomicU64,
+    pub submitted: Counter,
+    pub completed: Counter,
+    pub failed: Counter,
+    pub batches: Counter,
+    pub batched_requests: Counter,
+    pub max_batch_width: Watermark,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub stale_rejections: Counter,
+    pub faults_isolated: Counter,
+    pub publishes: Counter,
+    /// Requests accepted but not yet answered (incremented at submit,
+    /// decremented when the reply is sent — on every exit path).
+    pub queue_depth: Gauge,
+    /// End-to-end request latency, submit to reply, over all outcomes.
+    pub latency: Histogram,
+    /// Time each batch spent assembling (head pop to kernel dispatch),
+    /// bounded above by the configured `max_linger` plus drain time.
+    pub linger: Histogram,
 }
 
 impl ServiceMetrics {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn add(counter: &AtomicU64, v: u64) {
-        counter.fetch_add(v, Ordering::Relaxed);
-    }
-
     pub(crate) fn record_batch(&self, executed_width: usize) {
-        Self::bump(&self.batches);
-        Self::add(&self.batched_requests, executed_width as u64);
-        self.max_batch_width.fetch_max(executed_width as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_requests.add(executed_width as u64);
+        self.max_batch_width.observe(executed_width as u64);
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            max_batch_width: self.max_batch_width.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
-            faults_isolated: self.faults_isolated.load(Ordering::Relaxed),
-            publishes: self.publishes.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            batches: self.batches.get(),
+            batched_requests: self.batched_requests.get(),
+            max_batch_width: self.max_batch_width.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            stale_rejections: self.stale_rejections.get(),
+            faults_isolated: self.faults_isolated.get(),
+            publishes: self.publishes.get(),
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            max_queue_depth: self.queue_depth.max_seen().max(0) as u64,
+            latency: self.latency.summary(),
+            linger: self.linger.summary(),
         }
     }
 }
 
-/// A point-in-time copy of the service counters. Counters are bumped
+/// A point-in-time copy of the service instruments. Counters are bumped
 /// with relaxed atomics; a snapshot taken while requests are in flight
 /// is approximate, one taken after the relevant tickets resolved is
 /// exact for those requests.
@@ -88,6 +97,16 @@ pub struct MetricsSnapshot {
     pub faults_isolated: u64,
     /// Contexts published over the service lifetime.
     pub publishes: u64,
+    /// Requests in flight (submitted, not yet answered) at snapshot
+    /// time.
+    pub queue_depth: u64,
+    /// Deepest the in-flight queue has ever been.
+    pub max_queue_depth: u64,
+    /// Live end-to-end latency distribution (submit → reply), with
+    /// log-bucket p50/p90/p99.
+    pub latency: HistogramSummary,
+    /// Live batch-assembly (linger) distribution.
+    pub linger: HistogramSummary,
 }
 
 impl MetricsSnapshot {

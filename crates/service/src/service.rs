@@ -11,7 +11,7 @@
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tracered_solver::SolverContext;
 use tracered_sparse::{BoostSchedule, SparseError};
@@ -58,11 +58,13 @@ impl Default for ServiceConfig {
     }
 }
 
-/// One queued request: what to do, the epoch pin, and where to answer.
+/// One queued request: what to do, the epoch pin, where to answer, and
+/// when it was accepted (feeds the end-to-end latency histogram).
 pub(crate) struct Pending {
     pub kind: RequestKind,
     pub pinned: Option<u64>,
     pub reply: Sender<ServiceResult>,
+    pub enqueued: Instant,
 }
 
 /// Front-end channel protocol.
@@ -179,11 +181,11 @@ impl SolverService {
         };
         let ctx = match cached {
             Some(ctx) => {
-                ServiceMetrics::bump(&self.shared.metrics.cache_hits);
+                self.shared.metrics.cache_hits.inc();
                 ctx
             }
             None => {
-                ServiceMetrics::bump(&self.shared.metrics.cache_misses);
+                self.shared.metrics.cache_misses.inc();
                 // Factorize outside the lock: publishing a big topology
                 // must not stall request service on the old epoch.
                 let built = SolverContext::build(
@@ -202,7 +204,7 @@ impl SolverService {
         state.epoch += 1;
         let epoch = state.epoch;
         state.current = Some(PublishedContext { ctx, grid: spec.grid.map(Arc::new), epoch });
-        ServiceMetrics::bump(&self.shared.metrics.publishes);
+        self.shared.metrics.publishes.inc();
         Ok(epoch)
     }
 
@@ -250,9 +252,12 @@ pub struct ServiceClient {
 
 impl ServiceClient {
     fn pending(&self, req: ServiceRequest) -> (Pending, Ticket) {
-        ServiceMetrics::bump(&self.shared.metrics.submitted);
+        self.shared.metrics.submitted.inc();
+        self.shared.metrics.queue_depth.inc();
         let (reply, rx) = mpsc::channel();
-        (Pending { kind: req.kind, pinned: req.pinned_epoch, reply }, Ticket { rx })
+        let pending =
+            Pending { kind: req.kind, pinned: req.pinned_epoch, reply, enqueued: Instant::now() };
+        (pending, Ticket { rx })
     }
 
     /// Submits one request. The returned [`Ticket`] resolves to

@@ -128,6 +128,7 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
     assert_eq!(a.nrows(), n, "matrix must be square");
     assert_eq!(b.nrows(), n, "rhs rows must equal n");
     let k = b.ncols();
+    let mut span = tracered_obs::span!("block_pcg.solve", { n: n, width: k });
     let t = options.threads.max(1);
     debug_assert!(
         t <= 1 || a.is_symmetric_within(1e-9 * matrix_scale(a)),
@@ -352,6 +353,9 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
                 );
             }
         }
+        if tracered_obs::iter_events_enabled() {
+            tracered_obs::event!("block_pcg.iter", { iter: sweeps, active: slot2col.len() });
+        }
         if slot2col.is_empty() || sweeps >= options.max_iterations {
             break;
         }
@@ -398,6 +402,11 @@ pub fn block_pcg_with_guess<P: Preconditioner>(
                 par_xpby(pc, beta, zc, t);
             }
         }
+    }
+    if let Some(g) = span.as_mut() {
+        g.arg("sweeps", sweeps as f64);
+        g.arg("total_iterations", iterations.iter().sum::<usize>() as f64);
+        g.arg("converged_cols", converged.iter().filter(|&&c| c).count() as f64);
     }
     BlockPcgSolution { x, iterations, rel_residual, converged, reasons, sweeps }
 }

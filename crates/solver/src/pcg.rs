@@ -92,6 +92,7 @@ pub fn pcg_with_guess<P: Preconditioner>(
     let n = a.ncols();
     assert_eq!(a.nrows(), n, "matrix must be square");
     assert_eq!(b.len(), n, "rhs length must equal n");
+    let mut span = tracered_obs::span!("pcg.solve", { n: n, tol: options.rel_tolerance });
     let t = options.threads.max(1);
     // The parallel SpMV reads the matrix row-wise, which computes Aᵀx —
     // wrong for asymmetric input. PCG requires symmetry on every path
@@ -184,6 +185,12 @@ pub fn pcg_with_guess<P: Preconditioner>(
         }
         iterations += 1;
         rel = norm_t(&r) / bnorm;
+        // Optional convergence trace: one instant event per iteration,
+        // gated behind the separate high-volume flag so default traces
+        // of long solves stay small.
+        if tracered_obs::iter_events_enabled() {
+            tracered_obs::event!("pcg.iter", { iter: iterations, rel: rel });
+        }
         if !rel.is_finite() {
             reason = TerminationReason::NonFinite;
             break;
@@ -230,6 +237,11 @@ pub fn pcg_with_guess<P: Preconditioner>(
         // A NaN rhs or guess poisons `rel` before the first iteration;
         // the NaN comparison then skips the loop entirely.
         reason = TerminationReason::NonFinite;
+    }
+    if let Some(g) = span.as_mut() {
+        g.arg("iterations", iterations as f64);
+        g.arg("rel_residual", rel);
+        g.arg("reason", f64::from(reason.code()));
     }
     PcgSolution { x, iterations, rel_residual: rel, converged, reason }
 }

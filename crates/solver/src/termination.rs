@@ -56,6 +56,21 @@ impl TerminationReason {
     pub fn is_breakdown(self) -> bool {
         !matches!(self, TerminationReason::Converged | TerminationReason::MaxIterations)
     }
+
+    /// A stable small integer for this reason, used as a numeric span
+    /// argument in convergence traces (trace args are `f64`-valued):
+    /// 0 converged, 1 max-iterations, 2 indefinite operator,
+    /// 3 indefinite preconditioner, 4 non-finite, 5 stagnation.
+    pub fn code(self) -> u32 {
+        match self {
+            TerminationReason::Converged => 0,
+            TerminationReason::MaxIterations => 1,
+            TerminationReason::IndefiniteOperator => 2,
+            TerminationReason::IndefinitePreconditioner => 3,
+            TerminationReason::NonFinite => 4,
+            TerminationReason::Stagnation => 5,
+        }
+    }
 }
 
 impl fmt::Display for TerminationReason {

@@ -190,8 +190,14 @@ impl CholeskyFactor {
         perm: Permutation,
         threads: usize,
     ) -> Result<Self, SparseError> {
-        let c = a.symmetric_perm_upper(&perm)?;
-        let symbolic = SymbolicCholesky::analyze(&c)?;
+        let _span =
+            tracered_obs::span!("chol.factorize", { n: a.ncols(), nnz: a.nnz(), threads: threads });
+        let (c, symbolic) = {
+            let _sym = tracered_obs::span!("chol.symbolic");
+            let c = a.symmetric_perm_upper(&perm)?;
+            let symbolic = SymbolicCholesky::analyze(&c)?;
+            (c, symbolic)
+        };
         let l = if threads > 1 {
             numeric_up_looking_parallel(&c, &symbolic, threads)?
         } else {
@@ -387,6 +393,7 @@ fn numeric_up_looking(
     symbolic: &SymbolicCholesky,
 ) -> Result<CscMatrix, SparseError> {
     let n = c.ncols();
+    let _span = tracered_obs::span!("chol.numeric", { n: n, nnz: symbolic.factor_nnz() });
     let lcolptr = symbolic.lcolptr.clone();
     let nnz = symbolic.factor_nnz();
     let mut lrowidx = vec![0usize; nnz];
@@ -528,10 +535,19 @@ fn numeric_up_looking_parallel(
     if n < PARALLEL_MIN_COLS {
         return numeric_up_looking(c, symbolic);
     }
-    let schedule = symbolic.schedule(threads);
+    let schedule = {
+        let _sched = tracered_obs::span!("chol.schedule", { threads: threads });
+        symbolic.schedule(threads)
+    };
     if schedule.jobs().len() <= 1 {
         return numeric_up_looking(c, symbolic);
     }
+    let _span = tracered_obs::span!("chol.numeric", {
+        n: n,
+        nnz: symbolic.factor_nnz(),
+        jobs: schedule.jobs().len(),
+        tail_rows: schedule.serial_tail().len()
+    });
     let lcolptr = symbolic.lcolptr.clone();
     let nnz = symbolic.factor_nnz();
     let mut lrowidx = vec![0usize; nnz];
@@ -544,6 +560,7 @@ fn numeric_up_looking_parallel(
     let jobs: Vec<(&Vec<usize>, &mut SubtreeFactor)> =
         schedule.jobs().iter().zip(outs.iter_mut()).collect();
     tracered_par::par_jobs(jobs, threads, |(cols, out)| {
+        let _job = tracered_obs::span!("chol.numeric.job", { cols: cols.len() });
         *out = factor_subtree_job(c, symbolic, cols);
     });
 
@@ -570,6 +587,9 @@ fn numeric_up_looking_parallel(
     // they are the tail rows the serial sweep would still have reached,
     // and a failure among them preempts the job's (it is smaller).
     let stop = first_failure.unwrap_or(usize::MAX);
+    // The serial-tail span is the direct lens on the scalability ceiling:
+    // its fraction of `chol.numeric` is the part no thread count removes.
+    let _tail = tracered_obs::span!("chol.numeric.tail", { rows: schedule.serial_tail().len() });
     let mut stack = vec![0usize; n];
     let mut wmark = vec![usize::MAX; n];
     let mut x = vec![0.0f64; n];
