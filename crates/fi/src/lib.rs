@@ -13,6 +13,10 @@
 //!   surface as classified terminations, never as garbage answers;
 //! - panicking pool jobs, which the `tracered_par` work-stealing pool
 //!   must contain without poisoning its workers;
+//! - outage faults for the contingency layer: corrupted rank-1
+//!   update vectors and pivot-poisoning downdate spikes, which the
+//!   incremental Cholesky update must reject typed with the factor
+//!   restored bit-exactly;
 //! - request-level faults ([`RequestFault`]) for the solver-service
 //!   aggregator: NaN right-hand sides, wrong-length vectors, stale
 //!   epoch pins and panicking request closures, each of which must fail
@@ -213,6 +217,58 @@ impl FaultPlan {
         (out, idx)
     }
 
+    /// Sets one entry of a rank-1 update/downdate vector to a
+    /// non-finite value. [`tracered_sparse`]'s incremental Cholesky
+    /// update must reject the vector with a typed error *before*
+    /// touching the factor — the chaos suite asserts the factor still
+    /// solves bit-identically afterwards. Returns the corrupted copy
+    /// and the index hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is empty.
+    pub fn corrupt_update_vector(&mut self, w: &[f64]) -> (Vec<f64>, usize) {
+        assert!(!w.is_empty(), "cannot corrupt an empty vector");
+        let idx = self.next_index(w.len());
+        let mut out = w.to_vec();
+        out[idx] = self.next_value().as_f64();
+        (out, idx)
+    }
+
+    /// Builds a downdate vector that poisons one pivot of `a`: a single
+    /// spike `w[j] = sqrt(4·|a_jj|)` at a randomly chosen column, so
+    /// `A − wwᵀ` has a strongly negative diagonal and any hyperbolic
+    /// downdate of a factor of `A` must lose positive definiteness at
+    /// (or before) column `j`. The loss must surface as a typed
+    /// `NotPositiveDefinite` with the factor restored bit-exactly —
+    /// never as a panic or a corrupted factor. Returns the vector and
+    /// the poisoned column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has a zero dimension.
+    pub fn poison_downdate(&mut self, a: &CscMatrix) -> (Vec<f64>, usize) {
+        let n = a.ncols().min(a.nrows());
+        assert!(n > 0, "cannot poison an empty matrix");
+        let target = self.next_index(n);
+        let mut w = vec![0.0; a.ncols()];
+        w[target] = (4.0 * a.get(target, target).abs().max(1.0)).sqrt();
+        (w, target)
+    }
+
+    /// Uniform slot pick in `0..total`, for planting one poisoned
+    /// element in a batch whose element type this crate does not know
+    /// (e.g. a contingency outage list). Keeps mid-batch injection
+    /// seed-driven like every other campaign choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn pick_slot(&mut self, total: usize) -> usize {
+        assert!(total > 0, "cannot pick from an empty batch");
+        self.next_index(total)
+    }
+
     /// Chooses which of `total` pool jobs should panic: a deterministic
     /// non-empty subset (roughly one in four). Returns a mask.
     pub fn panic_jobs(&mut self, total: usize) -> Vec<bool> {
@@ -304,6 +360,9 @@ mod tests {
         assert_eq!(p1.corrupt_matrix_entries(&a, 3).1, p2.corrupt_matrix_entries(&a, 3).1);
         assert_eq!(p1.poison_pivot(&a).1, p2.poison_pivot(&a).1);
         assert_eq!(p1.nan_rhs_entry(&[1.0; 9]).1, p2.nan_rhs_entry(&[1.0; 9]).1);
+        assert_eq!(p1.corrupt_update_vector(&[0.5; 7]), p2.corrupt_update_vector(&[0.5; 7]));
+        assert_eq!(p1.poison_downdate(&a), p2.poison_downdate(&a));
+        assert_eq!(p1.pick_slot(13), p2.pick_slot(13));
         assert_eq!(p1.panic_jobs(16), p2.panic_jobs(16));
         assert_eq!(p1.request_faults(24), p2.request_faults(24));
     }
@@ -364,6 +423,15 @@ mod tests {
             CholeskyFactor::factorize(&bad, Ordering::MinDegree),
             Err(SparseError::NotPositiveDefinite { .. })
         ));
+    }
+
+    #[test]
+    fn poison_downdate_guarantees_an_indefinite_perturbation() {
+        let a = laplacian_like(12);
+        let (w, col) = FaultPlan::new(17).poison_downdate(&a);
+        // (A − wwᵀ) has a strongly negative diagonal at `col`.
+        assert!(a.get(col, col) - w[col] * w[col] < 0.0);
+        assert!(w.iter().enumerate().all(|(i, &v)| i == col || v == 0.0));
     }
 
     #[test]

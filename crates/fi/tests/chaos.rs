@@ -409,3 +409,92 @@ fn service_chaos_campaign_sweep_is_deterministic_and_panic_free() {
         );
     }
 }
+
+/// Bitwise-comparable solve of a factor against a fixed probe RHS.
+fn solve_bits(factor: &CholeskyFactor, n: usize) -> Vec<u64> {
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    factor.solve(&b).iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn corrupted_update_vector_is_rejected_and_the_factor_survives() {
+    let a = healthy_matrix(8);
+    let n = a.ncols();
+    let mut factor = CholeskyFactor::factorize(&a, Ordering::MinDegree).expect("healthy matrix");
+    let before = solve_bits(&factor, n);
+
+    // A healthy edge-shaped rank-1 vector, then the fault campaign
+    // corrupts one entry to a non-finite value.
+    let mut w = vec![0.0; n];
+    w[3] = 0.5;
+    w[12] = -0.5;
+    let mut plan = FaultPlan::new(303);
+    let (bad_w, idx) = plan.corrupt_update_vector(&w);
+    assert!(!bad_w[idx].is_finite());
+
+    // Both directions reject typed, before touching the factor.
+    assert!(matches!(factor.update(&bad_w), Err(SparseError::InvalidValue { .. })));
+    assert!(matches!(factor.downdate(&bad_w), Err(SparseError::InvalidValue { .. })));
+    assert_eq!(factor.pending_updates(), 0, "a rejected vector must not be journaled");
+    assert_eq!(solve_bits(&factor, n), before, "the factor must be bit-identical");
+
+    // Recovery: the healthy vector still applies and reverts cleanly.
+    factor.update(&w).expect("healthy update applies after the fault");
+    factor.downdate(&w).expect("journaled revert");
+    assert_eq!(solve_bits(&factor, n), before);
+}
+
+#[test]
+fn poisoned_downdate_mid_sweep_is_quarantined_without_panic() {
+    // Factor-level contract first: the poisoned pivot surfaces as a
+    // typed breakdown and the factor is restored bit-exactly.
+    let a = healthy_matrix(8);
+    let n = a.ncols();
+    let mut factor = CholeskyFactor::factorize(&a, Ordering::MinDegree).expect("healthy matrix");
+    let before = solve_bits(&factor, n);
+    let mut plan = FaultPlan::new(404);
+    let (w, col) = plan.poison_downdate(&a);
+    match factor.downdate(&w) {
+        Err(SparseError::NotPositiveDefinite { .. }) => {}
+        other => panic!("poisoned pivot at column {col} must break down typed, got {other:?}"),
+    }
+    assert_eq!(factor.pending_updates(), 0);
+    assert_eq!(solve_bits(&factor, n), before, "failed downdate must restore the factor");
+
+    // Sweep-level contract: one poisoned outage mid-batch is
+    // quarantined as a classified failure and the survivors' answers
+    // are bitwise identical to a sweep without it.
+    use tracered_powergrid::{
+        simulate_contingency_batch, ContingencyConfig, Outage, OutageFailureKind, OutageOutcome,
+    };
+    let pg = synthesize(&SynthConfig { mesh: 8, ..Default::default() });
+    let healthy: Vec<Outage> = (0..4).map(|e| Outage::LineOutage { edge: e * 3 }).collect();
+    let slot = plan.pick_slot(healthy.len() + 1);
+    let mut outages = healthy.clone();
+    outages.insert(slot, Outage::Reweight { edge: 1, new_weight: f64::NAN });
+
+    let cfg = ContingencyConfig::default();
+    let poisoned = simulate_contingency_batch(&pg, &outages, &[0, 5], &cfg, None)
+        .expect("a poisoned outage must not abort the sweep");
+    let clean = simulate_contingency_batch(&pg, &healthy, &[0, 5], &cfg, None).expect("clean");
+
+    match &poisoned.outcomes[slot] {
+        OutageOutcome::Failed(f) => {
+            assert!(matches!(f.kind, OutageFailureKind::Invalid(_)), "got {:?}", f.kind);
+        }
+        other => panic!("slot {slot} must be quarantined, got {other:?}"),
+    }
+    let survivors: Vec<_> =
+        poisoned.outcomes.iter().enumerate().filter(|&(i, _)| i != slot).map(|(_, o)| o).collect();
+    for (sv, cl) in survivors.iter().zip(clean.outcomes.iter()) {
+        let (sv, cl) = match (sv, cl) {
+            (OutageOutcome::Completed(s), OutageOutcome::Completed(c)) => (s, c),
+            other => panic!("survivor/clean outcome mismatch: {other:?}"),
+        };
+        let sb: Vec<u64> = sv.probes.iter().map(|p| p.to_bits()).collect();
+        let cb: Vec<u64> = cl.probes.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(sb, cb, "survivors must be bitwise unaffected by the quarantined outage");
+    }
+    assert_eq!(poisoned.report.failures, 1);
+    assert_eq!(poisoned.report.completed, clean.report.completed);
+}

@@ -39,6 +39,8 @@
 // are the clearer idiom there.
 #![allow(clippy::needless_range_loop)]
 
+#[warn(clippy::unwrap_used)]
+pub mod contingency;
 pub mod netlist;
 pub mod synth;
 #[warn(clippy::unwrap_used)]
@@ -46,6 +48,11 @@ pub mod transient;
 #[warn(clippy::unwrap_used)]
 pub mod waveform;
 
+pub use contingency::{
+    simulate_contingency_batch, simulate_contingency_refactor, ContingencyConfig,
+    ContingencyMethod, ContingencySweep, EpochHook, Outage, OutageEvent, OutageFailure,
+    OutageFailureKind, OutageOutcome, OutageSolve,
+};
 pub use netlist::{CurrentSource, PowerGrid};
 pub use transient::{
     simulate_direct_batch_outcomes, simulate_pcg_batch_outcomes, ScenarioFailure,

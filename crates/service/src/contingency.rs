@@ -1,0 +1,87 @@
+//! Service-side epoch invalidation for contingency sweeps.
+//!
+//! A contingency sweep ([`tracered_powergrid::contingency`]) perturbs
+//! the topology the service's cached factors were built for. While a
+//! perturbation is in force, answering a request from those factors
+//! would be silently wrong — exactly the failure mode the epoch-pinning
+//! protocol exists to prevent. [`ContingencyInvalidator`] implements
+//! the sweep's [`EpochHook`]: every applied or reverted matrix
+//! perturbation bumps the service epoch, so requests pinned to the
+//! pre-outage epoch are rejected as
+//! [`crate::ServiceError::StaleEpoch`] instead of answered from an
+//! invalidated factor, and the degradation counters
+//! ([`crate::MetricsSnapshot::outages_applied`] /
+//! [`crate::MetricsSnapshot::update_fallbacks`]) keep the books.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tracered_graph::gen::{grid2d, WeightProfile};
+//! use tracered_graph::laplacian::laplacian_with_shifts;
+//! use tracered_service::{ContextSpec, ServiceConfig, ServiceRequest, SolverService};
+//!
+//! let g = grid2d(8, 8, WeightProfile::Unit, 3);
+//! let a = Arc::new(laplacian_with_shifts(&g, &vec![0.05; 64]));
+//! let svc = SolverService::start(ServiceConfig::default());
+//! let epoch = svc.publish(ContextSpec::new(Arc::clone(&a), a)).unwrap();
+//!
+//! // Hand `svc.contingency_hook()` to `simulate_contingency_batch`;
+//! // here we fire it directly to show the stale-epoch interaction.
+//! use tracered_powergrid::contingency::{EpochHook, OutageEvent};
+//! let hook = svc.contingency_hook();
+//! hook.outage_applied(&OutageEvent { outage: 0, epoch: epoch + 1, used_fallback: false });
+//!
+//! // A request pinned to the pre-outage epoch is now rejected.
+//! let client = svc.client();
+//! let res = client.solve(ServiceRequest::pcg(vec![1.0; 64], 1e-8).pinned(epoch));
+//! assert!(res.is_err());
+//! assert_eq!(svc.metrics().outages_applied, 1);
+//! ```
+
+use std::sync::Arc;
+
+use tracered_powergrid::contingency::{EpochHook, OutageEvent};
+
+use crate::service::Shared;
+
+/// An [`EpochHook`] bound to one service: each applied or reverted
+/// outage advances the service epoch (staling every pinned request in
+/// flight) and bumps the outage/fallback counters. Cheap to clone
+/// through [`Arc`]; safe to call from the sweeping thread while the
+/// aggregator serves requests.
+pub struct ContingencyInvalidator {
+    shared: Arc<Shared>,
+}
+
+impl ContingencyInvalidator {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        ContingencyInvalidator { shared }
+    }
+
+    /// Advances the service epoch so epoch-pinned requests submitted
+    /// against the previous topology are vetted as stale.
+    fn bump_epoch(&self) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.epoch += 1;
+        let epoch = state.epoch;
+        if let Some(current) = state.current.as_mut() {
+            current.epoch = epoch;
+        }
+    }
+}
+
+impl EpochHook for ContingencyInvalidator {
+    fn outage_applied(&self, event: &OutageEvent) {
+        self.bump_epoch();
+        self.shared.metrics.outages_applied.inc();
+        if event.used_fallback {
+            self.shared.metrics.update_fallbacks.inc();
+        }
+    }
+
+    fn outage_reverted(&self, _event: &OutageEvent) {
+        // The base topology is current again, but factors pinned to the
+        // mid-outage epoch must not survive either — bump, don't
+        // restore.
+        self.bump_epoch();
+    }
+}

@@ -48,11 +48,13 @@
 
 mod aggregator;
 pub mod context;
+pub mod contingency;
 pub mod metrics;
 pub mod request;
 pub mod service;
 
 pub use context::{ContextSpec, GridContext};
+pub use contingency::ContingencyInvalidator;
 pub use metrics::MetricsSnapshot;
 pub use request::{
     EngineKind, ServiceError, ServiceRequest, ServiceResponse, ServiceResult, SimulateOutcome,

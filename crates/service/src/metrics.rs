@@ -28,6 +28,8 @@ pub(crate) struct ServiceMetrics {
     pub stale_rejections: Counter,
     pub faults_isolated: Counter,
     pub publishes: Counter,
+    pub outages_applied: Counter,
+    pub update_fallbacks: Counter,
     /// Requests accepted but not yet answered (incremented at submit,
     /// decremented when the reply is sent — on every exit path).
     pub queue_depth: Gauge,
@@ -58,6 +60,8 @@ impl ServiceMetrics {
             stale_rejections: self.stale_rejections.get(),
             faults_isolated: self.faults_isolated.get(),
             publishes: self.publishes.get(),
+            outages_applied: self.outages_applied.get(),
+            update_fallbacks: self.update_fallbacks.get(),
             queue_depth: self.queue_depth.get().max(0) as u64,
             max_queue_depth: self.queue_depth.max_seen().max(0) as u64,
             latency: self.latency.summary(),
@@ -97,6 +101,14 @@ pub struct MetricsSnapshot {
     pub faults_isolated: u64,
     /// Contexts published over the service lifetime.
     pub publishes: u64,
+    /// Contingency outages applied against the service's topology (each
+    /// bumps the epoch twice — apply and revert — via the
+    /// [`crate::ContingencyInvalidator`] hook).
+    pub outages_applied: u64,
+    /// Contingency perturbations that fell back from an incremental
+    /// factor update to a regularized refactorization — the degradation
+    /// counter mirroring the solver's `degraded_fallbacks` convention.
+    pub update_fallbacks: u64,
     /// Requests in flight (submitted, not yet answered) at snapshot
     /// time.
     pub queue_depth: u64,

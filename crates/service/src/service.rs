@@ -208,6 +208,15 @@ impl SolverService {
         Ok(epoch)
     }
 
+    /// An [`crate::ContingencyInvalidator`] bound to this service: hand
+    /// it to [`tracered_powergrid::simulate_contingency_batch`] so every
+    /// applied/reverted outage bumps the service epoch and stales
+    /// pinned requests instead of answering them from a factor built
+    /// for the unperturbed topology.
+    pub fn contingency_hook(&self) -> crate::ContingencyInvalidator {
+        crate::ContingencyInvalidator::new(Arc::clone(&self.shared))
+    }
+
     /// The current epoch number, or `None` before the first publish.
     pub fn current_epoch(&self) -> Option<u64> {
         let state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());

@@ -349,3 +349,46 @@ fn shutdown_answers_queued_requests() {
         Err(ServiceError::ServiceStopped)
     ));
 }
+
+#[test]
+fn contingency_hook_stales_pins_and_counts_outages() {
+    let a = system(8, 0.05);
+    let n = a.ncols();
+    let svc = start_published(4, &a);
+    let client = svc.client();
+    let epoch = svc.current_epoch().unwrap();
+
+    // Drive the hook from a real sweep: each matrix perturbation bumps
+    // the epoch twice (apply + revert) and the outage counter once.
+    let pg = synthesize(&SynthConfig { mesh: 8, ..Default::default() });
+    let outages = [
+        tracered_powergrid::Outage::LineOutage { edge: 0 },
+        tracered_powergrid::Outage::Reweight { edge: 3, new_weight: 2.5 },
+    ];
+    let hook = svc.contingency_hook();
+    let sweep = tracered_powergrid::simulate_contingency_batch(
+        &pg,
+        &outages,
+        &[0],
+        &tracered_powergrid::ContingencyConfig::default(),
+        Some(&hook),
+    )
+    .unwrap();
+    assert_eq!(sweep.report.completed, 2);
+    assert_eq!(sweep.report.applied_updates + sweep.report.update_fallbacks, 2);
+
+    let m = svc.metrics();
+    assert_eq!(m.outages_applied, 2);
+    assert_eq!(m.update_fallbacks, sweep.report.update_fallbacks as u64);
+
+    // Pins taken before the sweep are stale now.
+    match client.solve(ServiceRequest::pcg(rhs(n, 5), 1e-8).pinned(epoch)) {
+        Err(ServiceError::StaleEpoch { pinned, current }) => {
+            assert_eq!(pinned, epoch);
+            assert_eq!(current, epoch + 4);
+        }
+        other => panic!("expected StaleEpoch, got {other:?}"),
+    }
+    // Unpinned requests still ride the (restored) topology.
+    assert!(client.solve(ServiceRequest::pcg(rhs(n, 6), 1e-8)).unwrap().into_solve().is_some());
+}

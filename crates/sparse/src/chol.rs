@@ -111,6 +111,11 @@ impl SymbolicCholesky {
 pub struct CholeskyFactor {
     perm: Permutation,
     l: CscMatrix,
+    /// LIFO undo journal of applied rank-1 updates/downdates (see
+    /// [`crate::update`]): reverting the most recent operation with the
+    /// same vector restores the factor bit-for-bit instead of replaying
+    /// inexact hyperbolic rotations.
+    journal: Vec<crate::update::UndoEntry>,
 }
 
 impl CholeskyFactor {
@@ -203,7 +208,7 @@ impl CholeskyFactor {
         } else {
             numeric_up_looking(&c, &symbolic)?
         };
-        Ok(CholeskyFactor { perm, l })
+        Ok(CholeskyFactor { perm, l, journal: Vec::new() })
     }
 
     /// Dimension of the factored matrix.
@@ -219,6 +224,26 @@ impl CholeskyFactor {
     /// The fill-reducing permutation (new-to-old convention).
     pub fn perm(&self) -> &Permutation {
         &self.perm
+    }
+
+    /// Mutable access to `L` for the rank-1 update kernel.
+    pub(crate) fn l_mut(&mut self) -> &mut CscMatrix {
+        &mut self.l
+    }
+
+    /// Replaces `L` wholesale (pattern growth / journalled restore).
+    pub(crate) fn set_l(&mut self, l: CscMatrix) {
+        self.l = l;
+    }
+
+    /// The rank-1 undo journal (see [`crate::update`]).
+    pub(crate) fn journal(&self) -> &[crate::update::UndoEntry] {
+        &self.journal
+    }
+
+    /// Mutable access to the rank-1 undo journal.
+    pub(crate) fn journal_mut(&mut self) -> &mut Vec<crate::update::UndoEntry> {
+        &mut self.journal
     }
 
     /// Number of nonzeros in `L`.

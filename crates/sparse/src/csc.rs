@@ -159,6 +159,13 @@ impl CscMatrix {
         &mut self.values
     }
 
+    /// Structure views plus mutable values, borrowed simultaneously —
+    /// for in-place numeric kernels (the rank-1 update walk) that read
+    /// the pattern while editing values.
+    pub(crate) fn parts_mut(&mut self) -> (&[usize], &[usize], &mut [f64]) {
+        (&self.colptr, &self.rowidx, &mut self.values)
+    }
+
     /// Row indices and values of column `c`.
     ///
     /// # Panics

@@ -14,6 +14,10 @@
 //!   independent elimination-tree subtrees concurrently and is
 //!   bit-identical to the serial kernel at every thread count;
 //! - sparse triangular solves and a convenience SDD solver;
+//! - CHOLMOD-style sparse rank-1 update/downdate of a factor in place
+//!   ([`update`]), with elimination-tree pattern growth, typed
+//!   loss-of-positive-definiteness errors, and a bit-exact undo journal
+//!   for apply/revert sweeps (contingency screening);
 //! - the paper's **Algorithm 1**: a structure-aware sparse approximate
 //!   inverse of the Cholesky factor ([`spai`]);
 //! - a small dense-matrix module ([`dense`]) used as a test oracle;
@@ -64,6 +68,7 @@ pub mod perm;
 pub mod regularize;
 pub mod spai;
 pub mod sparsevec;
+pub mod update;
 
 pub use chol::CholeskyFactor;
 pub use coo::CooMatrix;
@@ -78,6 +83,7 @@ pub use regularize::{
     RegularizedFactor,
 };
 pub use spai::{ApproxInverse, SpaiOptions};
+pub use update::UpdateReport;
 
 // Shared-handle audit: the service layer hands `Arc`'d matrices and
 // factors to concurrent request handlers, so the core storage types must
