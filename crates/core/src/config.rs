@@ -3,7 +3,7 @@
 use tracered_graph::laplacian::ShiftPolicy;
 use tracered_graph::mst::TreeKind;
 use tracered_sparse::order::Ordering;
-use tracered_sparse::BoostSchedule;
+use tracered_sparse::{BoostSchedule, KernelVariant};
 
 use crate::error::CoreError;
 
@@ -65,6 +65,7 @@ pub struct SparsifyConfig {
     track_trace: bool,
     threads: Option<usize>,
     factor_threads: Option<usize>,
+    kernel: KernelVariant,
     pivot_boost: Option<BoostSchedule>,
 }
 
@@ -113,6 +114,9 @@ impl SparsifyConfig {
             // partitions with `threads` while each partition can still
             // factor in parallel *inside* its job with this knob.
             factor_threads: Some(1),
+            // The scalar up-looking kernel is the historical default;
+            // `KernelVariant::Supernodal` opts into blocked panels.
+            kernel: KernelVariant::Scalar,
             // No boosted refactorization by default: a failing pivot
             // surfaces as a typed error unless the caller opts into the
             // resilience ladder.
@@ -153,6 +157,25 @@ impl SparsifyConfig {
     /// The configured factorization thread knob (`None` = auto-detect).
     pub fn factor_threads_value(&self) -> Option<usize> {
         self.factor_threads
+    }
+
+    /// Numeric Cholesky kernel for the per-iteration factorizations:
+    /// [`KernelVariant::Scalar`] (the default up-looking row kernel) or
+    /// [`KernelVariant::Supernodal`] (blocked panels with tiled rank-k
+    /// updates — see [`tracered_sparse::supernode`]).
+    ///
+    /// Unlike the thread knobs, the kernel changes floating-point
+    /// summation order, so it **is** part of the config fingerprint: the
+    /// two variants agree only up to rounding and must not share a
+    /// cached factor.
+    pub fn kernel(mut self, kernel: KernelVariant) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured numeric kernel variant.
+    pub fn kernel_value(&self) -> KernelVariant {
+        self.kernel
     }
 
     /// Diagonal-boost retry ladder for the per-iteration subgraph
@@ -420,16 +443,20 @@ impl SparsifyConfig {
         mix(self.spai_threshold.to_bits());
         mix(self.similarity_layers as u64);
         mix(u64::from(self.use_similarity_exclusion));
+        // Every enum below is matched exhaustively ON PURPOSE: a wildcard
+        // arm here once collapsed distinct variants onto one tag, and the
+        // service factor cache keys on this fingerprint — two different
+        // configs silently shared a cached factor. Adding a variant must
+        // be a compile error at this site, never a silent collision.
         mix(match self.tree_kind {
             TreeKind::MaxEffectiveWeight => 0,
             TreeKind::MaxWeight => 1,
-            _ => u64::MAX,
         });
         mix(match self.ordering {
             Ordering::Natural => 0,
             Ordering::Rcm => 1,
             Ordering::MinDegree => 2,
-            _ => 3,
+            Ordering::NestedDissection => 3,
         });
         match &self.shift {
             ShiftPolicy::None => mix(0),
@@ -448,8 +475,11 @@ impl SparsifyConfig {
                     mix(s.to_bits());
                 }
             }
-            _ => mix(u64::MAX),
         }
+        mix(match self.kernel {
+            KernelVariant::Scalar => 0,
+            KernelVariant::Supernodal => 1,
+        });
         mix(self.grass_power_steps as u64);
         mix(self.grass_num_vectors as u64);
         mix(self.jl_probes as u64);
@@ -498,6 +528,88 @@ mod tests {
             base.fingerprint(),
             base.clone().threads(Some(8)).factor_threads(None).fingerprint()
         );
+    }
+
+    /// Regression for the wildcard-arm fingerprint collision: every
+    /// variant of every enum knob must map to its own tag, so no two of
+    /// these configs may share a fingerprint — the service factor cache
+    /// keys on it, and a collision silently serves one config's factor
+    /// for another.
+    #[test]
+    fn fingerprints_pairwise_distinct_across_all_enum_variants() {
+        let base = SparsifyConfig::default;
+        let mut variants: Vec<(String, u64)> = Vec::new();
+        for method in [
+            Method::TraceReduction,
+            Method::Grass,
+            Method::EffectiveResistance,
+            Method::JlResistance,
+        ] {
+            // `new(method)` also flips iteration/exclusion defaults; pin
+            // them so only the method axis varies.
+            let cfg = SparsifyConfig::new(method).iterations(5).similarity_exclusion(true);
+            variants.push((format!("method::{method:?}"), cfg.fingerprint()));
+        }
+        for kind in [TreeKind::MaxEffectiveWeight, TreeKind::MaxWeight] {
+            variants.push((format!("tree::{kind:?}"), base().tree_kind(kind).fingerprint()));
+        }
+        for ordering in
+            [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree, Ordering::NestedDissection]
+        {
+            variants.push((format!("ord::{ordering:?}"), base().ordering(ordering).fingerprint()));
+        }
+        for (name, shift) in [
+            ("none", ShiftPolicy::None),
+            ("uniform", ShiftPolicy::Uniform(1e-3)),
+            ("relmean", ShiftPolicy::RelativeMeanDegree(1e-3)),
+            ("pernode", ShiftPolicy::PerNode(vec![1e-3; 4])),
+        ] {
+            variants.push((format!("shift::{name}"), base().shift(shift).fingerprint()));
+        }
+        for kernel in [KernelVariant::Scalar, KernelVariant::Supernodal] {
+            variants.push((format!("kernel::{kernel:?}"), base().kernel(kernel).fingerprint()));
+        }
+        for boost in [None, Some(BoostSchedule::default())] {
+            variants.push((
+                format!("boost::{}", boost.is_some()),
+                base().pivot_boost(boost).fingerprint(),
+            ));
+        }
+        // The default config is reached once along every axis; those (and
+        // only those) entries may share a fingerprint.
+        let defaults = [
+            "method::TraceReduction",
+            "tree::MaxEffectiveWeight",
+            "ord::MinDegree",
+            "shift::relmean",
+            "kernel::Scalar",
+            "boost::false",
+        ];
+        for i in 0..variants.len() {
+            for j in 0..i {
+                if variants[i].1 == variants[j].1 {
+                    assert!(
+                        defaults.contains(&variants[i].0.as_str())
+                            && defaults.contains(&variants[j].0.as_str()),
+                        "fingerprint collision between {} and {}",
+                        variants[i].0,
+                        variants[j].0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_knob_defaults_scalar_and_fingerprints() {
+        let base = SparsifyConfig::default();
+        assert_eq!(base.kernel_value(), KernelVariant::Scalar);
+        let sup = base.clone().kernel(KernelVariant::Supernodal);
+        assert_eq!(sup.kernel_value(), KernelVariant::Supernodal);
+        // The kernel changes summation order, so it must move the
+        // fingerprint (unlike the thread knobs).
+        assert_ne!(base.fingerprint(), sup.fingerprint());
+        assert!(sup.validate().is_ok());
     }
 
     #[test]

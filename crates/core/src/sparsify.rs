@@ -21,7 +21,7 @@ use tracered_graph::mst::spanning_tree;
 use tracered_graph::{Graph, GraphError, RootedTree};
 use tracered_obs::Timer;
 use tracered_sparse::{
-    factorize_regularized_threads, ApproxInverse, CholeskyFactor, CscMatrix, SpaiOptions,
+    factorize_regularized_kernel, ApproxInverse, CholeskyFactor, CscMatrix, SpaiOptions,
     SparseError,
 };
 
@@ -228,10 +228,20 @@ fn factorize_resilient(
     stats: &mut IterationStats,
 ) -> Result<CholeskyFactor, SparseError> {
     match cfg.pivot_boost_value() {
-        None => CholeskyFactor::factorize_threads(m, cfg.ordering_value(), factor_threads),
+        None => CholeskyFactor::factorize_kernel(
+            m,
+            cfg.ordering_value(),
+            cfg.kernel_value(),
+            factor_threads,
+        ),
         Some(schedule) => {
-            let rf =
-                factorize_regularized_threads(m, cfg.ordering_value(), factor_threads, &schedule)?;
+            let rf = factorize_regularized_kernel(
+                m,
+                cfg.ordering_value(),
+                cfg.kernel_value(),
+                factor_threads,
+                &schedule,
+            )?;
             if rf.applied_shift > stats.applied_shift {
                 stats.applied_shift = rf.applied_shift;
             }

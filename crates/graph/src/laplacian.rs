@@ -12,8 +12,11 @@ use crate::error::GraphError;
 use crate::graph::Graph;
 
 /// How the positive diagonal shift is chosen.
+///
+/// Deliberately **not** `#[non_exhaustive]`: downstream config
+/// fingerprints match on this exhaustively so that adding a policy is a
+/// compile error at every tag site instead of a silent cache collision.
 #[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
 pub enum ShiftPolicy {
     /// No shift: the exact (singular) Laplacian. Useful for assembling
     /// `L_G` when the caller adds physical ground conductances later.

@@ -17,8 +17,11 @@ use crate::graph::Graph;
 use crate::unionfind::UnionFind;
 
 /// How candidate edges are ranked when growing the spanning tree.
+///
+/// Deliberately **not** `#[non_exhaustive]`: downstream config
+/// fingerprints match on this exhaustively so that adding a variant is a
+/// compile error at every tag site instead of a silent cache collision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[non_exhaustive]
 pub enum TreeKind {
     /// feGRASS-style maximum *effective* weight spanning tree (default).
     #[default]

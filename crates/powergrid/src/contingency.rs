@@ -35,7 +35,8 @@ use tracered_solver::precond::CholPreconditioner;
 use tracered_solver::{block_pcg, PcgOptions, TerminationReason};
 use tracered_sparse::order::Ordering;
 use tracered_sparse::{
-    factorize_regularized_threads, BoostSchedule, CholeskyFactor, CscMatrix, MultiVec, SparseError,
+    factorize_regularized_kernel, BoostSchedule, CholeskyFactor, CscMatrix, KernelVariant,
+    MultiVec, SparseError,
 };
 
 use crate::netlist::PowerGrid;
@@ -256,6 +257,9 @@ pub struct ContingencyConfig {
     pub residual_tol: f64,
     /// Starting epoch reported through the [`EpochHook`].
     pub epoch_base: u64,
+    /// Numeric Cholesky kernel for every factorization in the sweep
+    /// (base factor, fallbacks, and the refactor reference).
+    pub kernel: KernelVariant,
 }
 
 impl Default for ContingencyConfig {
@@ -267,6 +271,7 @@ impl Default for ContingencyConfig {
             boost: BoostSchedule::default(),
             residual_tol: 1e-8,
             epoch_base: 0,
+            kernel: KernelVariant::Scalar,
         }
     }
 }
@@ -455,7 +460,13 @@ fn solve_by_refactor(
 ) -> Result<OutageOutcome, SparseError> {
     let gp = perturbed_matrix(g, u, v, dw);
     report.refactorizations += 1;
-    match factorize_regularized_threads(&gp, Ordering::MinDegree, cfg.factor_threads, &cfg.boost) {
+    match factorize_regularized_kernel(
+        &gp,
+        Ordering::MinDegree,
+        cfg.kernel,
+        cfg.factor_threads,
+        &cfg.boost,
+    ) {
         Ok(reg) => {
             let x = reg.factor.solve(rhs);
             let rel = gp.residual_inf_norm(&x, rhs) / rhs_inf;
@@ -549,8 +560,12 @@ pub fn simulate_contingency_batch(
         ..Default::default()
     };
     let t0 = Instant::now();
-    let mut factor =
-        CholeskyFactor::factorize_threads(&g, Ordering::MinDegree, cfg.factor_threads.max(1))?;
+    let mut factor = CholeskyFactor::factorize_kernel(
+        &g,
+        Ordering::MinDegree,
+        cfg.kernel,
+        cfg.factor_threads.max(1),
+    )?;
     report.base_factor_seconds = t0.elapsed().as_secs_f64();
 
     let sweep_t = Instant::now();
@@ -659,9 +674,10 @@ pub fn simulate_contingency_batch(
                     // Defensive only — the journal guarantees the
                     // inverse of the op just applied. Rebuild rather
                     // than continue on a perturbed factor.
-                    factor = CholeskyFactor::factorize_threads(
+                    factor = CholeskyFactor::factorize_kernel(
                         &g,
                         Ordering::MinDegree,
+                        cfg.kernel,
                         cfg.factor_threads.max(1),
                     )?;
                 }
@@ -756,8 +772,12 @@ pub fn simulate_contingency_refactor(
     };
     let t0 = Instant::now();
     // The reference still needs one base factor for dw == 0 no-ops.
-    let base =
-        CholeskyFactor::factorize_threads(&g, Ordering::MinDegree, cfg.factor_threads.max(1))?;
+    let base = CholeskyFactor::factorize_kernel(
+        &g,
+        Ordering::MinDegree,
+        cfg.kernel,
+        cfg.factor_threads.max(1),
+    )?;
     report.base_factor_seconds = t0.elapsed().as_secs_f64();
 
     let sweep_t = Instant::now();
@@ -794,9 +814,10 @@ pub fn simulate_contingency_refactor(
                 // Refactor-per-outage: the reference pays a fresh
                 // factorization even for an unchanged matrix.
                 report.refactorizations += 1;
-                let f = CholeskyFactor::factorize_threads(
+                let f = CholeskyFactor::factorize_kernel(
                     &g,
                     Ordering::MinDegree,
+                    cfg.kernel,
                     cfg.factor_threads.max(1),
                 )?;
                 let mut b = rhs.clone();

@@ -14,7 +14,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use tracered_solver::SolverContext;
-use tracered_sparse::{BoostSchedule, SparseError};
+use tracered_sparse::order::Ordering;
+use tracered_sparse::{BoostSchedule, KernelVariant, SparseError};
 
 use crate::aggregator;
 use crate::context::{CacheKey, ContextSpec, EpochState, PublishedContext};
@@ -43,6 +44,14 @@ pub struct ServiceConfig {
     /// Diagonal-boost ladder for factorizations performed by the
     /// service.
     pub boost: BoostSchedule,
+    /// Fill-reducing ordering for factorizations performed by the
+    /// service (context builds and lazy direct factors).
+    pub ordering: Ordering,
+    /// Numeric Cholesky kernel for factorizations performed by the
+    /// service. Affects summation order, so callers publishing specs
+    /// must fold it into the config tag (as
+    /// `SparsifyConfig::fingerprint` does) to keep cache slots distinct.
+    pub kernel: KernelVariant,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +63,8 @@ impl Default for ServiceConfig {
             factor_threads: 1,
             max_iterations: 10_000,
             boost: BoostSchedule::default(),
+            ordering: Ordering::MinDegree,
+            kernel: KernelVariant::Scalar,
         }
     }
 }
@@ -188,11 +199,13 @@ impl SolverService {
                 self.shared.metrics.cache_misses.inc();
                 // Factorize outside the lock: publishing a big topology
                 // must not stall request service on the old epoch.
-                let built = SolverContext::build(
+                let built = SolverContext::build_with(
                     Arc::clone(&spec.system),
                     Arc::clone(&spec.precond_matrix),
                     &self.cfg.boost,
                     self.cfg.factor_threads,
+                    self.cfg.ordering,
+                    self.cfg.kernel,
                 )
                 .map(Arc::new)
                 .map_err(ServiceError::Solver)?;

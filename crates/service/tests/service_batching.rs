@@ -242,6 +242,45 @@ fn epoch_swap_rejects_stale_pins_and_reuses_cached_factors() {
     assert_eq!(after.stale_rejections, 1);
 }
 
+/// Regression for the fingerprint-collision bug: wildcard match arms in
+/// `SparsifyConfig::fingerprint` used to map every ordering (and any
+/// future kernel) to the same tag bits, so two configs differing only in
+/// those knobs would share a cache slot and one would be served the
+/// other's factor. Publishing specs whose tags differ only by ordering
+/// or kernel must each miss the cache.
+#[test]
+fn cache_misses_when_only_ordering_or_kernel_differs() {
+    use tracered_core::SparsifyConfig;
+    use tracered_sparse::order::Ordering;
+    use tracered_sparse::KernelVariant;
+
+    let a = system(10, 0.05);
+    let svc = SolverService::start(cfg_with_width(4));
+
+    let base = SparsifyConfig::default();
+    let nd = SparsifyConfig::default().ordering(Ordering::NestedDissection);
+    let sup = SparsifyConfig::default().kernel(KernelVariant::Supernodal);
+    assert_ne!(base.fingerprint(), nd.fingerprint());
+    assert_ne!(base.fingerprint(), sup.fingerprint());
+    assert_ne!(nd.fingerprint(), sup.fingerprint());
+
+    for cfg in [&base, &nd, &sup] {
+        let before = svc.metrics();
+        let spec = ContextSpec::new(Arc::clone(&a), Arc::clone(&a)).with_tag(cfg.fingerprint());
+        svc.publish(spec).unwrap();
+        let after = svc.metrics();
+        assert_eq!(after.cache_misses, before.cache_misses + 1);
+        assert_eq!(after.cache_hits, before.cache_hits);
+    }
+    // Same tag again: now it is a hit.
+    let before = svc.metrics();
+    let spec = ContextSpec::new(Arc::clone(&a), Arc::clone(&a)).with_tag(sup.fingerprint());
+    svc.publish(spec).unwrap();
+    let after = svc.metrics();
+    assert_eq!(after.cache_hits, before.cache_hits + 1);
+    assert_eq!(after.cache_misses, before.cache_misses);
+}
+
 #[test]
 fn missing_context_and_missing_grid_are_typed_errors() {
     let svc = SolverService::start(cfg_with_width(4));

@@ -24,8 +24,8 @@
 use std::sync::{Arc, OnceLock};
 
 use tracered_sparse::order::Ordering;
-use tracered_sparse::regularize::{factorize_regularized_threads, scan_non_finite};
-use tracered_sparse::{BoostSchedule, CholeskyFactor, CscMatrix, SparseError};
+use tracered_sparse::regularize::{factorize_regularized_kernel, scan_non_finite};
+use tracered_sparse::{BoostSchedule, CholeskyFactor, CscMatrix, KernelVariant, SparseError};
 
 use crate::precond::{CholPreconditioner, Preconditioner};
 use crate::robust::{robust_core, RobustSolution, RobustSolveConfig};
@@ -69,6 +69,8 @@ pub struct SolverContext {
     applied_shift: f64,
     boost: BoostSchedule,
     factor_threads: usize,
+    ordering: Ordering,
+    kernel: KernelVariant,
     /// Direct factorization of the system matrix, built on first use by
     /// [`SolverContext::direct_factor`] and shared afterwards.
     direct: Arc<OnceLock<Result<Arc<CholeskyFactor>, SparseError>>>,
@@ -103,6 +105,33 @@ impl SolverContext {
         boost: &BoostSchedule,
         factor_threads: usize,
     ) -> Result<Self, SparseError> {
+        Self::build_with(
+            system,
+            precond_matrix,
+            boost,
+            factor_threads,
+            Ordering::MinDegree,
+            KernelVariant::Scalar,
+        )
+    }
+
+    /// [`SolverContext::build`] with explicit factorization knobs: the
+    /// fill-reducing `ordering` and numeric `kernel` are used for the
+    /// preconditioner factorization here *and* remembered for the lazy
+    /// [`SolverContext::direct_factor`] — earlier revisions hardcoded
+    /// min-degree in both places, ignoring the caller's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolverContext::build`].
+    pub fn build_with(
+        system: Arc<CscMatrix>,
+        precond_matrix: Arc<CscMatrix>,
+        boost: &BoostSchedule,
+        factor_threads: usize,
+        ordering: Ordering,
+        kernel: KernelVariant,
+    ) -> Result<Self, SparseError> {
         let n = system.ncols();
         if system.nrows() != n {
             return Err(SparseError::NotSquare { nrows: system.nrows(), ncols: n });
@@ -117,7 +146,7 @@ impl SolverContext {
         scan_non_finite(&system)?;
         scan_non_finite(&precond_matrix)?;
         let ft = factor_threads.max(1);
-        let rf = factorize_regularized_threads(&precond_matrix, Ordering::MinDegree, ft, boost)?;
+        let rf = factorize_regularized_kernel(&precond_matrix, ordering, kernel, ft, boost)?;
         Ok(SolverContext::from_parts(
             system,
             precond_matrix,
@@ -125,7 +154,8 @@ impl SolverContext {
             rf.applied_shift,
             *boost,
             ft,
-        ))
+        )
+        .with_factor_opts(ordering, kernel))
     }
 
     /// Assembles a context from an already-factorized preconditioner —
@@ -149,8 +179,21 @@ impl SolverContext {
             applied_shift,
             boost,
             factor_threads: factor_threads.max(1),
+            ordering: Ordering::MinDegree,
+            kernel: KernelVariant::Scalar,
             direct: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Sets the ordering and kernel used by factorizations this context
+    /// performs later (the lazy direct factor). Call before the first
+    /// [`SolverContext::direct_factor`]; the memoized factor is not
+    /// rebuilt.
+    #[must_use]
+    pub fn with_factor_opts(mut self, ordering: Ordering, kernel: KernelVariant) -> Self {
+        self.ordering = ordering;
+        self.kernel = kernel;
+        self
     }
 
     /// Problem dimension `n`.
@@ -202,6 +245,16 @@ impl SolverContext {
         self.factor_threads
     }
 
+    /// Fill-reducing ordering for factorizations through this context.
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// Numeric Cholesky kernel for factorizations through this context.
+    pub fn kernel(&self) -> KernelVariant {
+        self.kernel
+    }
+
     /// A direct (boosted) factorization of the *system* matrix, built on
     /// first call and memoized — the multi-RHS direct engine of the
     /// service layer. Concurrent first calls may race to factorize; one
@@ -215,9 +268,10 @@ impl SolverContext {
     pub fn direct_factor(&self) -> Result<Arc<CholeskyFactor>, SparseError> {
         self.direct
             .get_or_init(|| {
-                factorize_regularized_threads(
+                factorize_regularized_kernel(
                     &self.system,
-                    Ordering::MinDegree,
+                    self.ordering,
+                    self.kernel,
                     self.factor_threads,
                     &self.boost,
                 )

@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 
 use tracered_sparse::order::Ordering;
-use tracered_sparse::{CholeskyFactor, CscMatrix, SparseError};
+use tracered_sparse::{CholeskyFactor, CscMatrix, KernelVariant, SparseError};
 
 /// A factor-once / solve-many direct solver.
 ///
@@ -59,12 +59,27 @@ impl DirectSolver {
     ///
     /// Same conditions as [`DirectSolver::new`].
     pub fn new_threads(a: &CscMatrix, threads: usize) -> Result<Self, SparseError> {
+        Self::new_kernel(a, KernelVariant::Scalar, threads)
+    }
+
+    /// [`DirectSolver::new_threads`] with an explicit numeric kernel
+    /// ([`KernelVariant::Supernodal`] runs blocked panel updates instead
+    /// of the scalar up-looking sweep; same ordering auto-selection).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DirectSolver::new`].
+    pub fn new_kernel(
+        a: &CscMatrix,
+        kernel: KernelVariant,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
         let t = Instant::now();
         let (_, perm, _) = tracered_sparse::order::select_ordering(
             a,
             &[Ordering::MinDegree, Ordering::NestedDissection],
         )?;
-        let factor = CholeskyFactor::factorize_with_perm_threads(a, perm, threads)?;
+        let factor = CholeskyFactor::factorize_with_perm_kernel(a, perm, kernel, threads)?;
         Ok(DirectSolver { factor, factor_time: t.elapsed() })
     }
 
@@ -88,8 +103,23 @@ impl DirectSolver {
         ordering: Ordering,
         threads: usize,
     ) -> Result<Self, SparseError> {
+        Self::with_ordering_kernel(a, ordering, KernelVariant::Scalar, threads)
+    }
+
+    /// [`DirectSolver::with_ordering_threads`] with an explicit numeric
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DirectSolver::new`].
+    pub fn with_ordering_kernel(
+        a: &CscMatrix,
+        ordering: Ordering,
+        kernel: KernelVariant,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
         let t = Instant::now();
-        let factor = CholeskyFactor::factorize_threads(a, ordering, threads)?;
+        let factor = CholeskyFactor::factorize_kernel(a, ordering, kernel, threads)?;
         Ok(DirectSolver { factor, factor_time: t.elapsed() })
     }
 

@@ -16,9 +16,9 @@
 
 use tracered_sparse::order::Ordering;
 use tracered_sparse::regularize::{
-    factorize_regularized_threads, scan_non_finite, BoostSchedule, RegularizedFactor,
+    factorize_regularized_kernel, scan_non_finite, BoostSchedule, RegularizedFactor,
 };
-use tracered_sparse::{CscMatrix, SparseError};
+use tracered_sparse::{CscMatrix, KernelVariant, SparseError};
 
 use crate::pcg::{pcg_with_guess, PcgOptions, PcgSolution};
 use crate::precond::CholPreconditioner;
@@ -34,6 +34,13 @@ pub struct RobustSolveConfig {
     pub boost: BoostSchedule,
     /// Worker threads for factorizations (independent of `pcg.threads`).
     pub factor_threads: usize,
+    /// Fill-reducing ordering used by **every** factorization in the
+    /// chain (stage-1/2 preconditioners and the stage-3 direct factor).
+    /// Earlier revisions hardcoded [`Ordering::MinDegree`] here, silently
+    /// ignoring the caller's configured ordering on escalation.
+    pub ordering: Ordering,
+    /// Numeric Cholesky kernel used by every factorization in the chain.
+    pub kernel: KernelVariant,
     /// Enable stage 2: retry PCG with a harder-boosted preconditioner,
     /// warm-started from the best stage-1 iterate.
     pub refresh_preconditioner: bool,
@@ -48,6 +55,8 @@ impl Default for RobustSolveConfig {
             pcg: PcgOptions::default(),
             boost: BoostSchedule::default(),
             factor_threads: 1,
+            ordering: Ordering::MinDegree,
+            kernel: KernelVariant::Scalar,
             refresh_preconditioner: true,
             allow_direct: true,
         }
@@ -225,7 +234,7 @@ pub fn robust_solve(
     // without it. Callers holding a `SolverContext` skip this per-call
     // cost entirely via `robust_solve_shared`.
     let stage1_factor =
-        factorize_regularized_threads(precond_matrix, Ordering::MinDegree, ft, &cfg.boost);
+        factorize_regularized_kernel(precond_matrix, cfg.ordering, cfg.kernel, ft, &cfg.boost);
     let stage1 = stage1_factor.ok().map(|RegularizedFactor { factor, applied_shift, .. }| {
         (CholPreconditioner::from_factor(factor), applied_shift)
     });
@@ -282,7 +291,7 @@ pub(crate) fn robust_core(
             };
             let bumped = precond_matrix.add_diagonal(&vec![bump; n])?;
             if let Ok(RegularizedFactor { factor, applied_shift, .. }) =
-                factorize_regularized_threads(&bumped, Ordering::MinDegree, ft, &cfg.boost)
+                factorize_regularized_kernel(&bumped, cfg.ordering, cfg.kernel, ft, &cfg.boost)
             {
                 let total_shift = bump + applied_shift;
                 let pre = CholPreconditioner::from_factor(factor);
@@ -307,7 +316,7 @@ pub(crate) fn robust_core(
     // factorization of a genuinely singular system honestly reports the
     // perturbation error instead of claiming convergence.
     if cfg.allow_direct {
-        let rf = factorize_regularized_threads(a, Ordering::MinDegree, ft, &cfg.boost)?;
+        let rf = factorize_regularized_kernel(a, cfg.ordering, cfg.kernel, ft, &cfg.boost)?;
         let x = rf.factor.solve(b);
         let rel = true_rel_residual(a, &x, b);
         let reason = classify_residual(rel, tol);

@@ -12,6 +12,7 @@ use crate::etree::{self, NO_PARENT};
 use crate::multivec::MultiVec;
 use crate::order::Ordering;
 use crate::perm::Permutation;
+use crate::supernode::KernelVariant;
 
 /// Symbolic analysis of a (permuted) symmetric matrix: elimination tree and
 /// factor column pointers.
@@ -61,6 +62,12 @@ impl SymbolicCholesky {
     /// The elimination tree parent array.
     pub fn parent(&self) -> &[usize] {
         &self.parent
+    }
+
+    /// The factor column pointers (length `n + 1`), for the supernodal
+    /// kernel's structure sweep.
+    pub(crate) fn lcolptr(&self) -> &[usize] {
+        &self.lcolptr
     }
 
     /// Nonzeros per factor column (including the diagonal), from the
@@ -195,6 +202,43 @@ impl CholeskyFactor {
         perm: Permutation,
         threads: usize,
     ) -> Result<Self, SparseError> {
+        Self::factorize_with_perm_kernel(a, perm, KernelVariant::Scalar, threads)
+    }
+
+    /// [`CholeskyFactor::factorize_threads`] with an explicit numeric
+    /// kernel choice: the scalar up-looking row kernel or the supernodal
+    /// blocked-panel kernel (see [`crate::supernode`]).
+    ///
+    /// Each variant is bit-identical to itself at every thread count; the
+    /// two variants agree only up to rounding (different summation
+    /// orders), so cross-variant comparisons need a tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CholeskyFactor::factorize`].
+    pub fn factorize_kernel(
+        a: &CscMatrix,
+        ordering: Ordering,
+        kernel: KernelVariant,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
+        let perm = ordering.compute(a)?;
+        Self::factorize_with_perm_kernel(a, perm, kernel, threads)
+    }
+
+    /// [`CholeskyFactor::factorize_with_perm`] with an explicit numeric
+    /// kernel choice — the entry point every other `factorize*` method
+    /// funnels into.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CholeskyFactor::factorize_with_perm`].
+    pub fn factorize_with_perm_kernel(
+        a: &CscMatrix,
+        perm: Permutation,
+        kernel: KernelVariant,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
         let _span =
             tracered_obs::span!("chol.factorize", { n: a.ncols(), nnz: a.nnz(), threads: threads });
         let (c, symbolic) = {
@@ -203,10 +247,17 @@ impl CholeskyFactor {
             let symbolic = SymbolicCholesky::analyze(&c)?;
             (c, symbolic)
         };
-        let l = if threads > 1 {
-            numeric_up_looking_parallel(&c, &symbolic, threads)?
-        } else {
-            numeric_up_looking(&c, &symbolic)?
+        let l = match kernel {
+            KernelVariant::Scalar => {
+                if threads > 1 {
+                    numeric_up_looking_parallel(&c, &symbolic, threads)?
+                } else {
+                    numeric_up_looking(&c, &symbolic)?
+                }
+            }
+            KernelVariant::Supernodal => {
+                crate::supernode::numeric_supernodal(&c, &symbolic, threads)?
+            }
         };
         Ok(CholeskyFactor { perm, l, journal: Vec::new() })
     }
@@ -451,8 +502,9 @@ fn numeric_up_looking(
 }
 
 /// Matrices below this dimension never amortize the schedule build and
-/// job scratch, so the parallel numeric path falls back to serial.
-const PARALLEL_MIN_COLS: usize = 128;
+/// job scratch, so the parallel numeric path falls back to serial (both
+/// kernel variants share the cutoff).
+pub(crate) const PARALLEL_MIN_COLS: usize = 128;
 
 /// One subtree job's private slice of the factor: columns owned by the
 /// job, stored contiguously in job-local order.

@@ -68,6 +68,7 @@ pub mod perm;
 pub mod regularize;
 pub mod spai;
 pub mod sparsevec;
+pub mod supernode;
 pub mod update;
 
 pub use chol::CholeskyFactor;
@@ -79,10 +80,11 @@ pub use error::SparseError;
 pub use multivec::MultiVec;
 pub use perm::Permutation;
 pub use regularize::{
-    factorize_regularized, factorize_regularized_threads, scan_non_finite, BoostSchedule,
-    RegularizedFactor,
+    factorize_regularized, factorize_regularized_kernel, factorize_regularized_threads,
+    scan_non_finite, BoostSchedule, RegularizedFactor,
 };
 pub use spai::{ApproxInverse, SpaiOptions};
+pub use supernode::{KernelVariant, SupernodePartition};
 pub use update::UpdateReport;
 
 // Shared-handle audit: the service layer hands `Arc`'d matrices and

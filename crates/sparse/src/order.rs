@@ -18,8 +18,11 @@ use crate::error::SparseError;
 use crate::perm::Permutation;
 
 /// Choice of fill-reducing ordering used before factorization.
+///
+/// Deliberately **not** `#[non_exhaustive]`: downstream config
+/// fingerprints match on this exhaustively so that adding an ordering is
+/// a compile error at every tag site instead of a silent cache collision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[non_exhaustive]
 pub enum Ordering {
     /// Keep the natural (input) order.
     Natural,
@@ -38,6 +41,11 @@ impl Ordering {
     /// Computes the permutation for a square symmetric matrix `a` (the full
     /// matrix, not a triangle; only the pattern is used).
     ///
+    /// Every fill-reducing ordering is refined by
+    /// [`etree_postorder_refine`] before being returned — the composition
+    /// CHOLMOD applies after AMD. [`Ordering::Natural`] is exempt: its
+    /// contract is "keep the input order" verbatim.
+    ///
     /// # Errors
     ///
     /// Returns [`SparseError::NotSquare`] for rectangular inputs.
@@ -45,13 +53,50 @@ impl Ordering {
         if a.nrows() != a.ncols() {
             return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
-        Ok(match self {
-            Ordering::Natural => Permutation::identity(a.ncols()),
+        let base = match self {
+            Ordering::Natural => return Ok(Permutation::identity(a.ncols())),
             Ordering::Rcm => rcm(a),
             Ordering::MinDegree => min_degree(a),
             Ordering::NestedDissection => nested_dissection(a),
-        })
+        };
+        etree_postorder_refine(a, base)
     }
+}
+
+/// Refines a fill-reducing permutation by composing the depth-first
+/// postorder of the permuted matrix's elimination tree into it — the
+/// AMD-then-postorder composition CHOLMOD performs during analysis.
+///
+/// Relabeling the columns along any topological order of the elimination
+/// tree leaves the factor's fill and flop counts exactly unchanged (Liu's
+/// equivalent-reordering result); what it buys is *contiguity*: after the
+/// postorder, every single-child chain of the etree occupies consecutive
+/// column numbers. That contiguity is what the supernodal kernel's
+/// fundamental-supernode detection (`parent[j-1] == j` with nested
+/// patterns) keys on — without it a greedy min-degree order scatters chain
+/// columns and the partition degenerates to width-1 panels.
+///
+/// Returns the input permutation unchanged when the etree is already in
+/// postorder (always the case for a second application, so the refinement
+/// is idempotent).
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] for rectangular inputs.
+pub fn etree_postorder_refine(
+    a: &CscMatrix,
+    perm: Permutation,
+) -> Result<Permutation, SparseError> {
+    let upper = a.symmetric_perm_upper(&perm)?;
+    let parent = crate::etree::elimination_tree(&upper);
+    let post = crate::etree::postorder(&parent);
+    if post.iter().enumerate().all(|(k, &v)| k == v) {
+        return Ok(perm);
+    }
+    let post_perm = Permutation::from_vec(post).expect("postorder is a bijection");
+    // Final position k takes permuted column post[k], i.e. original column
+    // perm.new_to_old(post[k]).
+    Ok(post_perm.compose(&perm))
 }
 
 /// Builds an off-diagonal adjacency list from the pattern of a symmetric
@@ -558,6 +603,32 @@ mod tests {
     fn rejects_rectangular() {
         let a = CscMatrix::zeros(2, 3);
         assert!(matches!(Ordering::MinDegree.compute(&a), Err(SparseError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn compute_postorders_the_elimination_tree() {
+        use crate::etree;
+        let a = grid2d(12);
+        for ord in [Ordering::Rcm, Ordering::MinDegree, Ordering::NestedDissection] {
+            let p = ord.compute(&a).unwrap();
+            let upper = a.symmetric_perm_upper(&p).unwrap();
+            let parent = etree::elimination_tree(&upper);
+            let post = etree::postorder(&parent);
+            assert!(
+                post.iter().enumerate().all(|(k, &v)| k == v),
+                "{ord:?}: etree of the computed ordering must already be postordered"
+            );
+        }
+    }
+
+    #[test]
+    fn postorder_refinement_is_fill_neutral_and_idempotent() {
+        let a = grid2d(12);
+        let raw = min_degree(&a);
+        let refined = etree_postorder_refine(&a, raw.clone()).unwrap();
+        assert_eq!(fill_of(&a, &raw), fill_of(&a, &refined), "relabeling must not change fill");
+        let twice = etree_postorder_refine(&a, refined.clone()).unwrap();
+        assert_eq!(twice, refined, "second application must be the identity");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::chol::CholeskyFactor;
 use crate::csc::CscMatrix;
 use crate::error::SparseError;
 use crate::order::Ordering;
+use crate::supernode::KernelVariant;
 
 /// Geometric diagonal-boost ladder for [`factorize_regularized`].
 ///
@@ -218,22 +219,41 @@ pub fn factorize_regularized_threads(
     threads: usize,
     schedule: &BoostSchedule,
 ) -> Result<RegularizedFactor, SparseError> {
+    factorize_regularized_kernel(a, ordering, KernelVariant::Scalar, threads, schedule)
+}
+
+/// [`factorize_regularized_threads`] with an explicit numeric kernel
+/// choice ([`CholeskyFactor::factorize_kernel`]): every rung of the boost
+/// ladder factors with the same `kernel`, so the escalation chain keeps
+/// the caller's configured variant end to end.
+///
+/// # Errors
+///
+/// Same conditions as [`factorize_regularized_threads`].
+pub fn factorize_regularized_kernel(
+    a: &CscMatrix,
+    ordering: Ordering,
+    kernel: KernelVariant,
+    threads: usize,
+    schedule: &BoostSchedule,
+) -> Result<RegularizedFactor, SparseError> {
     schedule.validate()?;
     scan_non_finite(a)?;
     let perm = ordering.compute(a)?;
-    let mut last = match CholeskyFactor::factorize_with_perm_threads(a, perm.clone(), threads) {
-        Ok(factor) => {
-            return Ok(RegularizedFactor { factor, applied_shift: 0.0, attempts: 1 });
-        }
-        Err(e @ SparseError::NotPositiveDefinite { .. }) => e,
-        Err(e) => return Err(e),
-    };
+    let mut last =
+        match CholeskyFactor::factorize_with_perm_kernel(a, perm.clone(), kernel, threads) {
+            Ok(factor) => {
+                return Ok(RegularizedFactor { factor, applied_shift: 0.0, attempts: 1 });
+            }
+            Err(e @ SparseError::NotPositiveDefinite { .. }) => e,
+            Err(e) => return Err(e),
+        };
     let scale = diagonal_scale(a);
     let n = a.ncols();
     for attempt in 0..schedule.max_boosts {
         let shift = schedule.shift_at(attempt, scale);
         let boosted = a.add_diagonal(&vec![shift; n])?;
-        match CholeskyFactor::factorize_with_perm_threads(&boosted, perm.clone(), threads) {
+        match CholeskyFactor::factorize_with_perm_kernel(&boosted, perm.clone(), kernel, threads) {
             Ok(factor) => {
                 return Ok(RegularizedFactor {
                     factor,
